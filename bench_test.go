@@ -1,0 +1,254 @@
+package amcast
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section 8), each delegating to the harness in internal/bench with
+// CI-sized parameters. Regenerate full-size figures with:
+//
+//	go run ./cmd/bench -fig all -duration 5s -scale 1
+//
+// Custom metrics: ops/s (throughput) and ms/op (mean latency) as reported
+// by the harness, so `go test -bench .` output mirrors the figures.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"amcast/internal/bench"
+	"amcast/internal/ycsb"
+)
+
+func benchOpts() bench.Options {
+	return bench.Options{
+		Out:      io.Discard,
+		Duration: 500 * time.Millisecond,
+		Scale:    0.05,
+		Clients:  16,
+		Records:  300,
+	}
+}
+
+// BenchmarkTable1Operations covers Table 1 (the MRP-Store API) by driving
+// every operation through a live partitioned deployment via the Figure 4
+// harness's MRP-Store configuration (workload A exercises reads+updates;
+// inserts/deletes/scans are covered by the store integration tests).
+func BenchmarkTable1Operations(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig4YCSBOnMRP(o, ycsb.WorkloadA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res, "ops/s")
+	}
+}
+
+// BenchmarkTable2Operations covers Table 2 (the dLog API) through the
+// Figure 5 dLog configuration (appends; reads/trims covered by tests).
+func BenchmarkTable2Operations(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig5DLogPoint(o, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OpsPerS, "ops/s")
+		b.ReportMetric(res.MeanMs, "ms/op")
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (Multi-Ring Paxos baseline across
+// storage modes and request sizes).
+func BenchmarkFig3(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the in-memory 32 KB cell as the figure's headline.
+		for _, r := range res.Rows {
+			if r.Mode.String() == "In Memory" && r.ValueSize == 32768 {
+				b.ReportMetric(r.Mbps, "Mbps")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (YCSB across the four systems).
+func BenchmarkFig4(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	o.Clients = 8
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cells {
+			if c.System == bench.SysMRPGlobal && c.Workload == ycsb.WorkloadA {
+				b.ReportMetric(c.OpsPerS, "ops/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (dLog vs Bookkeeper).
+func BenchmarkFig5(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) > 0 {
+			b.ReportMetric(res.Points[len(res.Points)-1].OpsPerS, "ops/s")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (dLog vertical scalability).
+func BenchmarkFig6(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[len(res.Points)-1].OpsPerS, "ops/s")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (horizontal scalability across EC2
+// regions).
+func BenchmarkFig7(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 300 * time.Millisecond
+	o.Scale = 0.02
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[len(res.Points)-1].OpsPerS, "ops/s")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (recovery impact timeline).
+func BenchmarkFig8(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 3 * time.Second
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, s := range res.Samples {
+			sum += s.OpsPerS
+		}
+		if len(res.Samples) > 0 {
+			b.ReportMetric(sum/float64(len(res.Samples)), "ops/s")
+		}
+	}
+}
+
+// BenchmarkAblationMergeM sweeps the deterministic merge quota M.
+func BenchmarkAblationMergeM(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationMergeM(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSkip compares rate leveling on/off under imbalance.
+func BenchmarkAblationSkip(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationSkip(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBatch compares message packing on/off.
+func BenchmarkAblationBatch(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationBatch(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGlobalRing compares global-ring vs independent rings.
+func BenchmarkAblationGlobalRing(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationGlobalRing(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulticastLatency measures the public API's end-to-end multicast
+// latency on a three-node group (microbenchmark, not a paper figure).
+func BenchmarkMulticastLatency(b *testing.B) {
+	sys := NewSystem()
+	defer sys.Close()
+	members := []Member{
+		{ID: 1, Proposer: true, Acceptor: true, Learner: true},
+		{ID: 2, Proposer: true, Acceptor: true, Learner: true},
+		{ID: 3, Proposer: true, Acceptor: true, Learner: true},
+	}
+	if err := sys.CreateGroup(1, members); err != nil {
+		b.Fatal(err)
+	}
+	delivered := make(chan struct{}, 1024)
+	var nodes []*Node
+	for id := ProcessID(1); id <= 3; id++ {
+		opts := Defaults()
+		opts.RetryInterval = 50 * time.Millisecond
+		n, err := sys.NewNode(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Stop()
+		if err := n.Join(1); err != nil {
+			b.Fatal(err)
+		}
+		if id == 1 {
+			if err := n.Subscribe(func(Delivery) {
+				select {
+				case delivered <- struct{}{}:
+				default:
+				}
+			}, 1); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := n.Subscribe(func(Delivery) {}, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nodes[0].Multicast(1, payload); err != nil {
+			b.Fatal(err)
+		}
+		<-delivered
+	}
+}

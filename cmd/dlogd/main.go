@@ -1,0 +1,161 @@
+// Command dlogd runs a dLog cluster (Section 6.2) in a single process and
+// serves an interactive shell for the Table 2 operations.
+//
+// Usage:
+//
+//	dlogd -logs 2 -servers 3
+//
+// Shell commands:
+//
+//	append <log> <value>
+//	mappend <log,log,...> <value>
+//	read   <log> <pos>
+//	trim   <log> <pos>
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"amcast/internal/cluster"
+	"amcast/internal/core"
+	"amcast/internal/dlog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dlogd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	logs := flag.Int("logs", 2, "number of shared logs")
+	servers := flag.Int("servers", 3, "number of dLog servers")
+	flag.Parse()
+
+	d := cluster.NewDeployment(nil)
+	defer d.Close()
+	c, err := d.StartDLog(cluster.DLogOptions{
+		Logs:    *logs,
+		Servers: *servers,
+		Global:  true,
+		Ring: core.RingOptions{
+			SkipEnabled: true,
+			Delta:       5 * time.Millisecond,
+			Lambda:      9000,
+			BatchBytes:  32 << 10,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	dc, raw, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+
+	fmt.Printf("dLog up: %d logs on %d servers\n", *logs, *servers)
+	fmt.Println("commands: append|mappend|read|trim|quit")
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			return nil
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return nil
+		case "append":
+			if len(fields) != 3 {
+				fmt.Println("usage: append <log> <value>")
+				continue
+			}
+			l, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("log must be an integer")
+				continue
+			}
+			pos, err := dc.Append(dlog.LogID(l), []byte(fields[2]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("position %d\n", pos)
+		case "mappend":
+			if len(fields) != 3 {
+				fmt.Println("usage: mappend <log,log,...> <value>")
+				continue
+			}
+			var ids []dlog.LogID
+			for _, s := range strings.Split(fields[1], ",") {
+				l, err := strconv.Atoi(s)
+				if err != nil {
+					fmt.Println("log must be an integer")
+					ids = nil
+					break
+				}
+				ids = append(ids, dlog.LogID(l))
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			positions, err := dc.MultiAppend(ids, []byte(fields[2]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for l, p := range positions {
+				fmt.Printf("log %d -> position %d\n", l, p)
+			}
+		case "read":
+			l, p, ok := parseLP(fields)
+			if !ok {
+				continue
+			}
+			v, err := dc.Read(dlog.LogID(l), p)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%s\n", v)
+		case "trim":
+			l, p, ok := parseLP(fields)
+			if !ok {
+				continue
+			}
+			if err := dc.Trim(dlog.LogID(l), p); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("ok")
+		default:
+			fmt.Println("unknown command", fields[0])
+		}
+	}
+}
+
+func parseLP(fields []string) (int, uint64, bool) {
+	if len(fields) != 3 {
+		fmt.Println("usage:", fields[0], "<log> <pos>")
+		return 0, 0, false
+	}
+	l, err1 := strconv.Atoi(fields[1])
+	p, err2 := strconv.ParseUint(fields[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		fmt.Println("log and pos must be integers")
+		return 0, 0, false
+	}
+	return l, p, true
+}

@@ -1,0 +1,184 @@
+// Command mrpstore runs an MRP-Store cluster (Section 6.1) in a single
+// process and serves an interactive command shell on stdin, so the
+// partitioned, strongly consistent key-value store can be exercised by
+// hand.
+//
+// Usage:
+//
+//	mrpstore -partitions 3 -replicas 3 -global
+//
+// Shell commands (Table 1 of the paper):
+//
+//	insert <key> <value>
+//	read   <key>
+//	update <key> <value>
+//	delete <key>
+//	scan   <lo> <hi>
+//	crash  <partition> <replica>     # fail a replica
+//	restart <partition> <replica>    # recover it (checkpoint + catch-up)
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flag"
+
+	"amcast/internal/cluster"
+	"amcast/internal/core"
+	"amcast/internal/netem"
+	"amcast/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mrpstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	partitions := flag.Int("partitions", 3, "number of partitions")
+	replicas := flag.Int("replicas", 3, "replicas per partition")
+	global := flag.Bool("global", true, "add a global ring for ordered scans")
+	rangePart := flag.Bool("range", false, "range partitioning (default hash)")
+	flag.Parse()
+
+	d := cluster.NewDeployment(nil)
+	defer d.Close()
+	kind := store.HashPartitioned
+	if *rangePart {
+		kind = store.RangePartitioned
+	}
+	c, err := d.StartStore(cluster.StoreOptions{
+		Partitions:      *partitions,
+		Replicas:        *replicas,
+		Global:          *global,
+		Kind:            kind,
+		CheckpointEvery: 100,
+		RecoveryTimeout: 2 * time.Second,
+		Ring: core.RingOptions{
+			SkipEnabled: true,
+			Delta:       5 * time.Millisecond,
+			Lambda:      9000,
+			BatchBytes:  32 << 10,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sc, raw, err := c.NewClient(netem.SiteLocal)
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+
+	fmt.Printf("MRP-Store up: %d partitions x %d replicas (global ring: %v)\n",
+		*partitions, *replicas, *global)
+	fmt.Println("commands: insert|read|update|delete|scan|crash|restart|quit")
+
+	sc2 := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc2.Scan() {
+			return nil
+		}
+		fields := strings.Fields(sc2.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return nil
+		case "insert", "update":
+			if len(fields) != 3 {
+				fmt.Println("usage:", fields[0], "<key> <value>")
+				continue
+			}
+			var err error
+			if fields[0] == "insert" {
+				err = sc.Insert(fields[1], []byte(fields[2]))
+			} else {
+				err = sc.Update(fields[1], []byte(fields[2]))
+			}
+			report(err, "ok")
+		case "read":
+			if len(fields) != 2 {
+				fmt.Println("usage: read <key>")
+				continue
+			}
+			v, ok, err := sc.Read(fields[1])
+			if err != nil {
+				report(err, "")
+			} else if !ok {
+				fmt.Println("(not found)")
+			} else {
+				fmt.Printf("%s\n", v)
+			}
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Println("usage: delete <key>")
+				continue
+			}
+			report(sc.Delete(fields[1]), "ok")
+		case "scan":
+			if len(fields) != 3 {
+				fmt.Println("usage: scan <lo> <hi>")
+				continue
+			}
+			entries, err := sc.Scan(fields[1], fields[2])
+			if err != nil {
+				report(err, "")
+				continue
+			}
+			for _, e := range entries {
+				fmt.Printf("%s = %s\n", e.Key, e.Value)
+			}
+			fmt.Printf("(%d entries)\n", len(entries))
+		case "crash":
+			p, r, ok := parsePR(fields)
+			if !ok {
+				continue
+			}
+			c.Crash(p, r)
+			fmt.Printf("replica %d of partition %d terminated\n", r, p)
+		case "restart":
+			p, r, ok := parsePR(fields)
+			if !ok {
+				continue
+			}
+			report(c.Restart(p, r), "recovering")
+		default:
+			fmt.Println("unknown command", fields[0])
+		}
+	}
+}
+
+func parsePR(fields []string) (int, int, bool) {
+	if len(fields) != 3 {
+		fmt.Println("usage:", fields[0], "<partition> <replica>")
+		return 0, 0, false
+	}
+	p, err1 := strconv.Atoi(fields[1])
+	r, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil {
+		fmt.Println("partition and replica must be integers")
+		return 0, 0, false
+	}
+	return p, r, true
+}
+
+func report(err error, okMsg string) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if okMsg != "" {
+		fmt.Println(okMsg)
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: three processes form one multicast group and deliver the
+// same totally ordered message stream via the public amcast API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"amcast"
+)
+
+func main() {
+	sys := amcast.NewSystem()
+	defer sys.Close()
+
+	// One group, three members playing all roles (proposer, acceptor,
+	// learner) — the paper's Figure 2(a) layout.
+	members := []amcast.Member{
+		{ID: 1, Proposer: true, Acceptor: true, Learner: true},
+		{ID: 2, Proposer: true, Acceptor: true, Learner: true},
+		{ID: 3, Proposer: true, Acceptor: true, Learner: true},
+	}
+	if err := sys.CreateGroup(1, members); err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	sequences := make(map[amcast.ProcessID][]string)
+	var wg sync.WaitGroup
+	wg.Add(3 * 5) // 3 learners × 5 messages
+
+	var nodes []*amcast.Node
+	for id := amcast.ProcessID(1); id <= 3; id++ {
+		node, err := sys.NewNode(id, amcast.Defaults())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Stop()
+		if err := node.Join(1); err != nil {
+			log.Fatal(err)
+		}
+		self := id
+		err = node.Subscribe(func(d amcast.Delivery) {
+			mu.Lock()
+			sequences[self] = append(sequences[self], string(d.Data))
+			mu.Unlock()
+			wg.Done()
+		}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+
+	// Concurrent proposers: the protocol decides one total order.
+	for i := 0; i < 5; i++ {
+		proposer := nodes[i%3]
+		if err := proposer.Multicast(1, []byte(fmt.Sprintf("msg-%d from node %d", i, proposer.ID()))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		log.Fatal("timed out waiting for deliveries")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for id := amcast.ProcessID(1); id <= 3; id++ {
+		fmt.Printf("node %d delivered: %v\n", id, sequences[id])
+	}
+	for i := range sequences[1] {
+		if sequences[1][i] != sequences[2][i] || sequences[1][i] != sequences[3][i] {
+			log.Fatal("order diverged — atomic multicast violated!")
+		}
+	}
+	fmt.Println("all three learners delivered the identical sequence ✓")
+}

@@ -1,0 +1,91 @@
+// recovery: the paper's Section 5 walkthrough. A three-replica partition
+// checkpoints periodically; one replica is killed and loses even its
+// checkpoints; on restart it pulls the most recent remote checkpoint from
+// a quorum of peers and replays the missing commands from the acceptors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"amcast/internal/cluster"
+	"amcast/internal/core"
+	"amcast/internal/netem"
+)
+
+func main() {
+	d := cluster.NewDeployment(nil)
+	defer d.Close()
+	c, err := d.StartStore(cluster.StoreOptions{
+		Partitions:      1,
+		Replicas:        3,
+		CheckpointEvery: 10, // checkpoint every 10 commands
+		RecoveryTimeout: 2 * time.Second,
+		Ring: core.RingOptions{
+			SkipEnabled:  true,
+			Lambda:       9000,
+			TrimInterval: 200 * time.Millisecond,
+			BatchBytes:   32 << 10,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, raw, err := c.NewClient(netem.SiteLocal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer raw.Close()
+
+	put := func(n int, tag string) {
+		for i := 0; i < n; i++ {
+			if err := client.Insert(fmt.Sprintf("%s-%03d", tag, i), []byte(tag)); err != nil {
+				log.Fatalf("insert: %v", err)
+			}
+		}
+	}
+
+	put(30, "before")
+	fmt.Println("30 inserts done; replicas are checkpointing every 10 commands")
+	waitFor(func() bool { return c.Server(1, 3) != nil && c.Server(1, 3).SM().Len() == 30 })
+	fmt.Printf("replica 3 holds %d entries, %d checkpoints taken\n",
+		c.Server(1, 3).SM().Len(), c.Server(1, 3).Replica().CheckpointCount())
+
+	fmt.Println("\n*** killing replica 3 and WIPING its stable storage ***")
+	c.Crash(1, 3)
+	c.DropCheckpoints(1, 3)
+
+	put(20, "while-down")
+	fmt.Println("20 more inserts while replica 3 is down (service keeps running)")
+
+	fmt.Println("\n*** restarting replica 3 ***")
+	start := time.Now()
+	if err := c.Restart(1, 3); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool {
+		srv := c.Server(1, 3)
+		return srv != nil && srv.SM().Len() == 50
+	})
+	fmt.Printf("replica 3 recovered all 50 entries in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println("  1. remote checkpoint fetched from a quorum of peers (Q_R)")
+	fmt.Println("  2. missing instances replayed from the acceptors")
+	fmt.Println("  3. delivery resumed at the checkpoint's merge position")
+
+	// Cluster still fully serves.
+	if err := client.Insert("after", []byte("recovery")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npost-recovery insert ✓")
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("timed out waiting for condition")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"amcast/internal/store"
+	"amcast/internal/transport"
+)
+
+func TestEventualStoreBasic(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	s, err := StartEventual(EventualConfig{Net: net, Partitions: 3, ReplicationFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.NewClient(40001)
+	defer c.Close()
+
+	res, err := c.Do(store.Op{Kind: store.OpInsert, Key: "k1", Value: []byte("v1")})
+	if err != nil || res.Status != store.StatusOK {
+		t.Fatalf("insert = %+v, %v", res, err)
+	}
+	res, err = c.Do(store.Op{Kind: store.OpRead, Key: "k1"})
+	if err != nil || res.Status != store.StatusOK || string(res.Entries[0].Value) != "v1" {
+		t.Fatalf("read = %+v, %v", res, err)
+	}
+	res, err = c.Do(store.Op{Kind: store.OpUpdate, Key: "k1", Value: []byte("v2")})
+	if err != nil || res.Status != store.StatusOK {
+		t.Fatalf("update = %+v, %v", res, err)
+	}
+	res, err = c.Do(store.Op{Kind: store.OpDelete, Key: "k1"})
+	if err != nil || res.Status != store.StatusOK {
+		t.Fatalf("delete = %+v, %v", res, err)
+	}
+}
+
+func TestEventualScanScatterGather(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	s, err := StartEventual(EventualConfig{Net: net, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.NewClient(40002)
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("key%02d", i)
+		if _, err := c.Do(store.Op{Kind: store.OpInsert, Key: k, Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := c.Scan("key00", "key99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 20 {
+		t.Fatalf("scan = %d entries, want 20", len(entries))
+	}
+}
+
+func TestEventualConcurrent(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	s, err := StartEventual(EventualConfig{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		c := s.NewClient(transport.ProcessID(40100 + w))
+		defer c.Close()
+		wg.Add(1)
+		go func(w int, c *EventualClient) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := c.Do(store.Op{Kind: store.OpInsert, Key: k, Value: []byte("v")}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w, c)
+	}
+	wg.Wait()
+}
+
+func TestSingleNodeBasic(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	s, err := StartSingleNode(SingleNodeConfig{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.NewClient(41001)
+	defer c.Close()
+
+	if res, err := c.Do(store.Op{Kind: store.OpInsert, Key: "a", Value: []byte("1")}); err != nil || res.Status != store.StatusOK {
+		t.Fatalf("insert = %+v, %v", res, err)
+	}
+	res, err := c.Do(store.Op{Kind: store.OpScan, Key: "a", KeyHi: "z"})
+	if err != nil || len(res.Entries) != 1 {
+		t.Fatalf("scan = %+v, %v", res, err)
+	}
+}
+
+func TestSingleNodeSerializes(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	s, err := StartSingleNode(SingleNodeConfig{Net: net, ServiceTime: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// 10 concurrent ops at 2ms service time must take >= ~20ms total.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < 10; w++ {
+		c := s.NewClient(transport.ProcessID(41100 + w))
+		defer c.Close()
+		wg.Add(1)
+		go func(w int, c *SingleNodeClient) {
+			defer wg.Done()
+			if _, err := c.Do(store.Op{Kind: store.OpInsert, Key: fmt.Sprintf("k%d", w), Value: []byte("v")}); err != nil {
+				t.Errorf("do: %v", err)
+			}
+		}(w, c)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("10 ops at 2ms service finished in %v; queue not serializing", elapsed)
+	}
+}
+
+func TestBookLogAppend(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	b, err := StartBookLog(BookLogConfig{Net: net, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	c := b.NewClient(42001)
+	defer c.Close()
+
+	p0, err := c.Append([]byte("entry0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Append([]byte("entry1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= p0 {
+		t.Errorf("positions %d, %d not increasing", p0, p1)
+	}
+}
+
+func TestBookLogBatchingAddsLatency(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	b, err := StartBookLog(BookLogConfig{Net: net, FlushInterval: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	c := b.NewClient(42002)
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Append([]byte("e")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("append latency %v; batching window not applied", elapsed)
+	}
+}
+
+func TestBookLogConcurrentAppendsDistinctPositions(t *testing.T) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	b, err := StartBookLog(BookLogConfig{Net: net, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	const writers = 5
+	const per = 10
+	positions := make(chan uint64, writers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		c := b.NewClient(transport.ProcessID(42100 + w))
+		defer c.Close()
+		wg.Add(1)
+		go func(c *BookClient) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p, err := c.Append([]byte("entry"))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				positions <- p
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(positions)
+	seen := make(map[uint64]bool)
+	for p := range positions {
+		if seen[p] {
+			t.Fatalf("position %d assigned twice", p)
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"amcast/internal/cluster"
+	"amcast/internal/coord"
+	"amcast/internal/core"
+	"amcast/internal/metrics"
+	"amcast/internal/store"
+	"amcast/internal/transport"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Config  string
+	OpsPerS float64
+	MeanMs  float64
+}
+
+// AblationResult aggregates one study.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// twoGroupFixture builds a 3-process deployment participating in two rings
+// and returns a closed-loop measurement of multicasting to both groups.
+func twoGroupMeasure(o Options, m int, skip bool, batch int, loadRatio int) (AblationRow, error) {
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	svc := coord.NewService()
+	for _, ring := range []transport.RingID{1, 2} {
+		var members []coord.Member
+		for i := 1; i <= 3; i++ {
+			members = append(members, coord.Member{
+				ID:    transport.ProcessID(i),
+				Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner,
+			})
+		}
+		if err := svc.CreateRing(ring, members); err != nil {
+			return AblationRow{}, err
+		}
+	}
+
+	type waiter struct {
+		mu sync.Mutex
+		m  map[uint64]chan struct{}
+	}
+	w := &waiter{m: make(map[uint64]chan struct{})}
+	hist := metrics.NewHistogram()
+	meter := metrics.NewMeter()
+
+	var nodes []*core.Node
+	for i := 1; i <= 3; i++ {
+		first := i == 1
+		router := transport.NewRouter(net.Attach(transport.ProcessID(i), "h"))
+		node, err := core.New(core.Config{
+			Self:   transport.ProcessID(i),
+			Router: router,
+			Coord:  svc,
+			M:      m,
+			Ring: core.RingOptions{
+				RetryInterval: 100 * time.Millisecond,
+				SkipEnabled:   skip,
+				Delta:         5 * time.Millisecond,
+				Lambda:        5000,
+				BatchBytes:    batch,
+				Window:        128,
+			},
+		})
+		if err != nil {
+			return AblationRow{}, err
+		}
+		if err := node.Join(1); err != nil {
+			return AblationRow{}, err
+		}
+		if err := node.Join(2); err != nil {
+			return AblationRow{}, err
+		}
+		handler := func(d core.Delivery) {
+			if len(d.Data) < 16 {
+				return
+			}
+			if first {
+				meter.Add(1, uint64(len(d.Data)))
+			}
+			key := binary.LittleEndian.Uint64(d.Data[:8])
+			sentAt := int64(binary.LittleEndian.Uint64(d.Data[8:16]))
+			if first {
+				hist.Record(time.Duration(time.Now().UnixNano() - sentAt))
+			}
+			w.mu.Lock()
+			ch := w.m[key]
+			w.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			}
+		}
+		if err := node.Subscribe(handler, 1, 2); err != nil {
+			return AblationRow{}, err
+		}
+		nodes = append(nodes, node)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const threads = 8
+	for t := 0; t < threads; t++ {
+		// loadRatio:1 imbalance between groups 1 and 2.
+		group := transport.RingID(1)
+		if loadRatio > 0 && t%(loadRatio+1) == loadRatio {
+			group = 2
+		}
+		key := uint64(777)<<32 | uint64(t)
+		ch := make(chan struct{}, 1)
+		w.mu.Lock()
+		w.m[key] = ch
+		w.mu.Unlock()
+		wg.Add(1)
+		go func(group transport.RingID) {
+			defer wg.Done()
+			payload := make([]byte, 512)
+			binary.LittleEndian.PutUint64(payload[:8], key)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				binary.LittleEndian.PutUint64(payload[8:16], uint64(time.Now().UnixNano()))
+				if err := nodes[0].Multicast(group, payload); err != nil {
+					return
+				}
+				select {
+				case <-ch:
+				case <-stop:
+					return
+				case <-time.After(5 * time.Second):
+				}
+			}
+		}(group)
+	}
+	time.Sleep(o.Duration)
+	close(stop)
+	wg.Wait()
+	ops, _ := meter.Rate()
+	return AblationRow{OpsPerS: ops, MeanMs: float64(hist.Mean()) / 1e6}, nil
+}
+
+// AblationMergeM studies the deterministic-merge quota M (the paper fixes
+// M=1; larger M trades cross-group fairness for fewer turn switches).
+func AblationMergeM(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	o.header("Ablation", "deterministic merge quota M (2 groups, balanced load)")
+	o.printf("%8s %12s %10s\n", "M", "tput(ops/s)", "mean(ms)")
+	res := AblationResult{Name: "merge-M"}
+	for _, m := range []int{1, 4, 16, 64} {
+		row, err := twoGroupMeasure(o, m, true, 0, 1)
+		if err != nil {
+			return res, err
+		}
+		row.Config = fmt.Sprintf("M=%d", m)
+		res.Rows = append(res.Rows, row)
+		o.printf("%8d %12.0f %10.2f\n", m, row.OpsPerS, row.MeanMs)
+	}
+	return res, nil
+}
+
+// AblationSkip studies rate leveling under a 7:1 group load imbalance:
+// without skips the merge stalls at the slow group's pace.
+func AblationSkip(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	o.header("Ablation", "rate leveling (7:1 group load imbalance)")
+	o.printf("%14s %12s %10s\n", "skips", "tput(ops/s)", "mean(ms)")
+	res := AblationResult{Name: "rate-leveling"}
+	for _, skip := range []bool{true, false} {
+		row, err := twoGroupMeasure(o, 1, skip, 0, 7)
+		if err != nil {
+			return res, err
+		}
+		row.Config = fmt.Sprintf("skip=%v", skip)
+		res.Rows = append(res.Rows, row)
+		o.printf("%14v %12.0f %10.2f\n", skip, row.OpsPerS, row.MeanMs)
+	}
+	return res, nil
+}
+
+// AblationBatch studies coordinator message packing.
+func AblationBatch(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	o.header("Ablation", "message packing (32 KB batches vs none)")
+	o.printf("%14s %12s %10s\n", "batch", "tput(ops/s)", "mean(ms)")
+	res := AblationResult{Name: "batching"}
+	for _, batch := range []int{0, 32 << 10} {
+		row, err := twoGroupMeasure(o, 1, true, batch, 1)
+		if err != nil {
+			return res, err
+		}
+		row.Config = fmt.Sprintf("batch=%d", batch)
+		res.Rows = append(res.Rows, row)
+		o.printf("%14d %12.0f %10.2f\n", batch, row.OpsPerS, row.MeanMs)
+	}
+	return res, nil
+}
+
+// AblationGlobalRing generalizes Figure 4's two MRP-Store configurations:
+// the throughput cost of a global ring as partitions scale.
+func AblationGlobalRing(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	o.header("Ablation", "global ring cost vs independent rings (single-key updates)")
+	o.printf("%24s %12s %10s\n", "config", "tput(ops/s)", "mean(ms)")
+	res := AblationResult{Name: "global-ring"}
+	for _, partitions := range []int{1, 2, 4} {
+		for _, global := range []bool{false, true} {
+			row, err := globalRingMeasure(o, partitions, global)
+			if err != nil {
+				return res, err
+			}
+			row.Config = fmt.Sprintf("P=%d global=%v", partitions, global)
+			res.Rows = append(res.Rows, row)
+			o.printf("%24s %12.0f %10.2f\n", row.Config, row.OpsPerS, row.MeanMs)
+		}
+	}
+	return res, nil
+}
+
+func globalRingMeasure(o Options, partitions int, global bool) (AblationRow, error) {
+	d := cluster.NewDeployment(nil)
+	defer d.Close()
+	c, err := d.StartStore(cluster.StoreOptions{
+		Partitions: partitions,
+		Replicas:   3,
+		Global:     global,
+		Kind:       store.HashPartitioned,
+		Ring: core.RingOptions{
+			RetryInterval: 100 * time.Millisecond,
+			SkipEnabled:   true,
+			Delta:         5 * time.Millisecond,
+			Lambda:        5000,
+			BatchBytes:    32 << 10,
+			Window:        128,
+		},
+	})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	meter := metrics.NewMeter()
+	hist := metrics.NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	payload := make([]byte, 1024)
+	clients := min(o.Clients, 4*partitions)
+	for t := 0; t < clients; t++ {
+		sc, raw, err := c.NewClient("local")
+		if err != nil {
+			return AblationRow{}, err
+		}
+		defer raw.Close()
+		key := fmt.Sprintf("abl-key-%d", t)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sc.Insert(key, payload); err != nil {
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if err := sc.Update(key, payload); err != nil {
+					continue
+				}
+				hist.Record(time.Since(start))
+				meter.Add(1, 1024)
+			}
+		}()
+	}
+	time.Sleep(o.Duration)
+	close(stop)
+	wg.Wait()
+	ops, _ := meter.Rate()
+	return AblationRow{OpsPerS: ops, MeanMs: float64(hist.Mean()) / 1e6}, nil
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastOpts shrinks every figure for CI speed: short windows, scaled-down
+// device/WAN latencies, few clients.
+func fastOpts(buf *bytes.Buffer) Options {
+	return Options{
+		Out:      buf,
+		Duration: 300 * time.Millisecond,
+		Scale:    0.02,
+		Clients:  8,
+		Records:  200,
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	res, err := Fig3(fastOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 { // 5 modes × 4 sizes
+		t.Fatalf("rows = %d, want 20", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Mbps <= 0 {
+			t.Errorf("%v/%d: zero throughput", r.Mode, r.ValueSize)
+		}
+	}
+	if !strings.Contains(buf.String(), "Latency CDF") {
+		t.Error("report missing CDF section")
+	}
+}
+
+// TestFig3Shape pins the storage-mode ordering the paper shows: in-memory
+// beats async disk, async beats sync, SSD beats HDD in sync mode.
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	o.Duration = 500 * time.Millisecond
+	o.Scale = 0.2
+	res, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := make(map[string]float64)
+	for _, r := range res.Rows {
+		if r.ValueSize == 32768 {
+			tput[r.Mode.String()] = r.Mbps
+		}
+	}
+	if tput["Sync Disk (SSD)"] <= tput["Sync Disk"] {
+		t.Errorf("sync SSD (%.1f) should beat sync HDD (%.1f)", tput["Sync Disk (SSD)"], tput["Sync Disk"])
+	}
+	if tput["In Memory"] < tput["Sync Disk"] {
+		t.Errorf("in-memory (%.1f) should beat sync HDD (%.1f)", tput["In Memory"], tput["Sync Disk"])
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	res, err := Fig4(fastOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 24 { // 4 systems × 6 workloads
+		t.Fatalf("cells = %d, want 24", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.OpsPerS <= 0 {
+			t.Errorf("%s/%s: zero throughput", c.System, c.Workload)
+		}
+	}
+	if len(res.FLatency) != 12 {
+		t.Errorf("F latencies = %d, want 12", len(res.FLatency))
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	res, err := Fig5(fastOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.OpsPerS <= 0 {
+			t.Errorf("%s@%d clients: zero throughput", p.System, p.Clients)
+		}
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	res, err := Fig6(fastOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(res.Points))
+	}
+	// Vertical scalability: 5 rings must beat 1 ring.
+	if res.Points[4].OpsPerS <= res.Points[0].OpsPerS {
+		t.Errorf("5 rings (%.0f ops/s) should beat 1 ring (%.0f ops/s)",
+			res.Points[4].OpsPerS, res.Points[0].OpsPerS)
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	o.Duration = 500 * time.Millisecond
+	res, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	// Horizontal scalability: 4 regions must beat 1 region.
+	if res.Points[3].OpsPerS <= res.Points[0].OpsPerS {
+		t.Errorf("4 regions (%.0f) should beat 1 region (%.0f)",
+			res.Points[3].OpsPerS, res.Points[0].OpsPerS)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	o.Duration = 3 * time.Second
+	res, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 10 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	if res.Events.CrashAtSec == 0 || res.Events.RestartAtSec == 0 {
+		t.Error("crash/restart events missing")
+	}
+	// Service keeps running through the crash: samples after the crash
+	// still show progress.
+	after := 0.0
+	for _, s := range res.Samples {
+		if s.AtSec > res.Events.CrashAtSec {
+			after += s.OpsPerS
+		}
+	}
+	if after == 0 {
+		t.Error("no throughput after replica crash; availability lost")
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	if res, err := AblationMergeM(o); err != nil || len(res.Rows) != 4 {
+		t.Fatalf("merge-M: %v (%d rows)", err, len(res.Rows))
+	}
+	if res, err := AblationSkip(o); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("skip: %v (%d rows)", err, len(res.Rows))
+	}
+	if res, err := AblationBatch(o); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("batch: %v (%d rows)", err, len(res.Rows))
+	}
+	if res, err := AblationGlobalRing(o); err != nil || len(res.Rows) != 6 {
+		t.Fatalf("global-ring: %v (%d rows)", err, len(res.Rows))
+	}
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"amcast/internal/coord"
+	"amcast/internal/core"
+	"amcast/internal/metrics"
+	"amcast/internal/netem"
+	"amcast/internal/storage"
+	"amcast/internal/transport"
+)
+
+// Fig3Row is one (value size, storage mode) cell of Figure 3.
+type Fig3Row struct {
+	Mode       storage.Mode
+	ValueSize  int
+	Mbps       float64
+	MeanMs     float64
+	P99Ms      float64
+	CPUPercent float64
+	CDF        []metrics.CDFPoint // populated for the 32 KB column
+}
+
+// Fig3Result aggregates the figure.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// fig3Sizes are the paper's request sizes (512 B .. 32 KB).
+var fig3Sizes = []int{512, 2048, 8192, 32768}
+
+// Fig3 reproduces Figure 3: a single multicast group with three processes
+// (all proposers, acceptors and learners; one coordinator), 10 proposer
+// threads, batching disabled, across five storage modes.
+func Fig3(o Options) (Fig3Result, error) {
+	o = o.withDefaults()
+	o.header("Figure 3", "Multi-Ring Paxos baseline (1 ring, 3 processes, 10 proposer threads, no batching)")
+	o.printf("%-18s %8s %12s %10s %10s %8s\n", "mode", "size", "tput(Mbps)", "mean(ms)", "p99(ms)", "cpu(%)")
+
+	var res Fig3Result
+	for _, mode := range storage.Modes {
+		for _, size := range fig3Sizes {
+			row, err := fig3Run(o, mode, size)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, row)
+			o.printf("%-18s %8d %12.2f %10.3f %10.3f %8.1f\n",
+				mode, size, row.Mbps, row.MeanMs, row.P99Ms, row.CPUPercent)
+		}
+	}
+	// Latency CDF for 32 KB values (bottom-right graph).
+	o.printf("\nLatency CDF (32 KB values):\n")
+	for _, row := range res.Rows {
+		if row.ValueSize != 32768 || len(row.CDF) == 0 {
+			continue
+		}
+		o.printf("  %-18s:", row.Mode)
+		for _, p := range row.CDF {
+			o.printf(" %.0f%%@%.1fms", p.Fraction*100, float64(p.Latency)/1e6)
+		}
+		o.printf("\n")
+	}
+	return res, nil
+}
+
+// fig3Run measures one configuration.
+func fig3Run(o Options, mode storage.Mode, size int) (Fig3Row, error) {
+	net := transport.NewNetwork(netem.LANTopology("h1", "h2", "h3"))
+	defer net.Close()
+	svc := coord.NewService()
+	members := []coord.Member{
+		{ID: 1, Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner},
+		{ID: 2, Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner},
+		{ID: 3, Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner},
+	}
+	if err := svc.CreateRing(1, members); err != nil {
+		return Fig3Row{}, err
+	}
+
+	hist := metrics.NewHistogram()
+	meter := metrics.NewMeter()
+
+	// Per-node waiter registries for the closed-loop proposer threads.
+	type waiters struct {
+		mu sync.Mutex
+		m  map[uint64]chan struct{}
+	}
+	nodes := make([]*core.Node, 3)
+	nodeWaiters := make([]*waiters, 3)
+	sites := []netem.Site{"h1", "h2", "h3"}
+	for i := 0; i < 3; i++ {
+		i := i
+		w := &waiters{m: make(map[uint64]chan struct{})}
+		nodeWaiters[i] = w
+		router := transport.NewRouter(net.Attach(transport.ProcessID(i+1), sites[i]))
+		node, err := core.New(core.Config{
+			Self:   transport.ProcessID(i + 1),
+			Router: router,
+			Coord:  svc,
+			NewLog: func(transport.RingID) storage.Log { return storage.NewModeLog(mode, o.Scale) },
+			Ring:   core.RingOptions{RetryInterval: 100 * time.Millisecond, Window: 64},
+		})
+		if err != nil {
+			return Fig3Row{}, err
+		}
+		if err := node.Join(1); err != nil {
+			return Fig3Row{}, err
+		}
+		handler := func(d core.Delivery) {
+			if len(d.Data) < 16 {
+				return
+			}
+			if i == 0 {
+				// Count throughput at one learner only (the stream
+				// is identical at all three).
+				meter.Add(1, uint64(len(d.Data)))
+			}
+			// The key's high 32 bits (bytes 4..8 little-endian) name
+			// the originating node.
+			origin := binary.LittleEndian.Uint32(d.Data[4:8])
+			if int(origin) != i+1 {
+				return
+			}
+			sentAt := int64(binary.LittleEndian.Uint64(d.Data[8:16]))
+			hist.Record(time.Duration(time.Now().UnixNano() - sentAt))
+			key := binary.LittleEndian.Uint64(d.Data[:8]) // origin|threadSeq
+			w.mu.Lock()
+			ch := w.m[key]
+			w.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			}
+		}
+		if err := node.Subscribe(handler, 1); err != nil {
+			return Fig3Row{}, err
+		}
+		nodes[i] = node
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	// 10 closed-loop proposer threads spread over the 3 processes.
+	const threads = 10
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	cpuBefore := cpuTime()
+	start := time.Now()
+	meter.Reset()
+	for t := 0; t < threads; t++ {
+		nodeIdx := t % 3
+		node := nodes[nodeIdx]
+		w := nodeWaiters[nodeIdx]
+		key := uint64(nodeIdx+1)<<32 | uint64(t)
+		ch := make(chan struct{}, 1)
+		w.mu.Lock()
+		w.m[key] = ch
+		w.mu.Unlock()
+		wg.Add(1)
+		go func(nodeID uint32) {
+			defer wg.Done()
+			payload := make([]byte, size)
+			binary.LittleEndian.PutUint64(payload[:8], key)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				binary.LittleEndian.PutUint64(payload[8:16], uint64(time.Now().UnixNano()))
+				if err := node.Multicast(1, payload); err != nil {
+					return
+				}
+				select {
+				case <-ch:
+				case <-stop:
+					return
+				case <-time.After(10 * time.Second):
+					// Lost proposal under overload: retry.
+				}
+			}
+		}(uint32(nodeIdx + 1))
+	}
+	time.Sleep(o.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	cpu := cpuTime() - cpuBefore
+
+	_, mbps := meter.Rate()
+	row := Fig3Row{
+		Mode:       mode,
+		ValueSize:  size,
+		Mbps:       mbps,
+		MeanMs:     float64(hist.Mean()) / 1e6,
+		P99Ms:      float64(hist.Quantile(0.99)) / 1e6,
+		CPUPercent: 100 * float64(cpu) / float64(elapsed),
+	}
+	if size == 32768 {
+		row.CDF = hist.CDF(10)
+	}
+	if row.Mbps == 0 && hist.Count() == 0 {
+		return row, fmt.Errorf("bench: fig3 %v/%d produced no deliveries", mode, size)
+	}
+	return row, nil
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"amcast/internal/cluster"
+	"amcast/internal/core"
+	"amcast/internal/metrics"
+	"amcast/internal/storage"
+	"amcast/internal/transport"
+)
+
+// Fig8Sample is one per-second sample of the recovery timeline.
+type Fig8Sample struct {
+	AtSec   float64
+	OpsPerS float64
+	MeanMs  float64
+}
+
+// Fig8Events records when the experiment's numbered events happened
+// (the paper's ①..⑤ annotations).
+type Fig8Events struct {
+	CrashAtSec   float64
+	RestartAtSec float64
+	RecoveredSec float64 // when the restarted replica caught up
+}
+
+// Fig8Result aggregates the figure.
+type Fig8Result struct {
+	Samples []Fig8Sample
+	Events  Fig8Events
+}
+
+// Fig8 reproduces Figure 8: impact of recovery on performance. One
+// partition with three replicas runs at ~75% of peak load with periodic
+// checkpoints and acceptor log trimming; one replica is killed early and
+// restarted late, recovering a remote checkpoint plus retransmissions.
+// The timeline (paper: kill @20 s, restart @240 s of 300 s) scales with
+// o.Duration: kill at 10% and restart at 70%.
+func Fig8(o Options) (Fig8Result, error) {
+	o = o.withDefaults()
+	if o.Duration < 2*time.Second {
+		o.Duration = 2 * time.Second
+	}
+	o.header("Figure 8", fmt.Sprintf("Impact of recovery on performance (%.0fs timeline)", o.Duration.Seconds()))
+
+	d := cluster.NewDeployment(nil)
+	defer d.Close()
+	c, err := d.StartStore(cluster.StoreOptions{
+		Partitions:      1,
+		Replicas:        3,
+		CheckpointEvery: 500,
+		RecoveryTimeout: 2 * time.Second,
+		Ring: core.RingOptions{
+			RetryInterval: 200 * time.Millisecond,
+			TrimInterval:  500 * time.Millisecond,
+			BatchBytes:    32 << 10,
+			Window:        128,
+		},
+		NewLog: func(transport.RingID, transport.ProcessID) storage.Log {
+			return storage.NewSimDisk(storage.NewMemLog(), storage.SSDSpec(), false, o.Scale)
+		},
+	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+
+	// Drive load at roughly 75% of peak with a fixed client pool.
+	const clients = 12
+	meter := metrics.NewMeter()
+	hist := metrics.NewHistogram()
+	var histMu sync.Mutex
+	window := metrics.NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	payload := make([]byte, 1024)
+	for t := 0; t < clients; t++ {
+		sc, raw, err := c.NewClient("local")
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		defer raw.Close()
+		key := fmt.Sprintf("key%03d", t)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sc.Insert(key, payload); err != nil {
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if err := sc.Update(key, payload); err != nil {
+					continue
+				}
+				d := time.Since(start)
+				meter.Add(1, 1024)
+				hist.Record(d)
+				histMu.Lock()
+				window.Record(d)
+				histMu.Unlock()
+				// ~75% load: brief pause between ops.
+				time.Sleep(time.Duration(float64(d) * 0.3))
+			}
+		}()
+	}
+
+	var res Fig8Result
+	crashAt := time.Duration(float64(o.Duration) * 0.1)
+	restartAt := time.Duration(float64(o.Duration) * 0.7)
+	sampleEvery := o.Duration / 30
+	if sampleEvery < 100*time.Millisecond {
+		sampleEvery = 100 * time.Millisecond
+	}
+	start := time.Now()
+	crashed, restarted := false, false
+	meter.Reset()
+	for time.Since(start) < o.Duration {
+		time.Sleep(sampleEvery)
+		elapsed := time.Since(start)
+		ops, _ := meter.Rate()
+		meter.Reset()
+		histMu.Lock()
+		mean := float64(window.Mean()) / 1e6
+		window = metrics.NewHistogram()
+		histMu.Unlock()
+		res.Samples = append(res.Samples, Fig8Sample{
+			AtSec: elapsed.Seconds(), OpsPerS: ops, MeanMs: mean,
+		})
+		if !crashed && elapsed >= crashAt {
+			c.Crash(1, 3)
+			crashed = true
+			res.Events.CrashAtSec = elapsed.Seconds()
+			o.printf("t=%5.1fs  EVENT 1: replica terminated\n", elapsed.Seconds())
+		}
+		if !restarted && elapsed >= restartAt {
+			if err := c.Restart(1, 3); err != nil {
+				return res, fmt.Errorf("restart replica: %w", err)
+			}
+			restarted = true
+			res.Events.RestartAtSec = elapsed.Seconds()
+			o.printf("t=%5.1fs  EVENT 4: replica recovery begins\n", elapsed.Seconds())
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Wait briefly for the restarted replica to converge and record when.
+	target := c.Server(1, 1).SM().Len()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		srv := c.Server(1, 3)
+		if srv != nil && srv.SM().Len() >= target {
+			res.Events.RecoveredSec = time.Since(start).Seconds()
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	o.printf("\n%8s %12s %10s\n", "t(s)", "tput(ops/s)", "mean(ms)")
+	for _, s := range res.Samples {
+		o.printf("%8.1f %12.0f %10.2f\n", s.AtSec, s.OpsPerS, s.MeanMs)
+	}
+	o.printf("\nevents: crash@%.1fs restart@%.1fs recovered@%.1fs (replica 3 entries: %d, live replica: %d)\n",
+		res.Events.CrashAtSec, res.Events.RestartAtSec, res.Events.RecoveredSec,
+		smLen(c, 1, 3), target)
+	return res, nil
+}
+
+func smLen(c *cluster.StoreCluster, p, r int) int {
+	srv := c.Server(p, r)
+	if srv == nil {
+		return -1
+	}
+	return srv.SM().Len()
+}

@@ -1,0 +1,495 @@
+// Package cluster assembles complete in-process deployments of the
+// paper's systems — MRP-Store and dLog clusters over Multi-Ring Paxos with
+// an emulated network — so integration tests, benchmarks (Figures 3–8) and
+// examples share one wiring layer instead of re-plumbing rings, routers
+// and schemas.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amcast/internal/coord"
+	"amcast/internal/core"
+	"amcast/internal/dlog"
+	"amcast/internal/netem"
+	"amcast/internal/recovery"
+	"amcast/internal/smr"
+	"amcast/internal/storage"
+	"amcast/internal/store"
+	"amcast/internal/transport"
+)
+
+// GlobalRing is the conventional ring id for the global group that all
+// replicas subscribe to in global-ring configurations.
+const GlobalRing transport.RingID = 1000
+
+// ReplicaID computes the process id of replica r (1-based) of partition p
+// (1-based).
+func ReplicaID(p, r int) transport.ProcessID {
+	return transport.ProcessID(p*100 + r)
+}
+
+// Deployment owns the emulated network and coordination service.
+type Deployment struct {
+	Net *transport.Network
+	Svc *coord.Service
+
+	nextClient atomic.Uint32
+
+	mu      sync.Mutex
+	cleanup []func()
+}
+
+// NewDeployment creates a deployment over a topology (nil = zero-delay).
+func NewDeployment(topo *netem.Topology) *Deployment {
+	d := &Deployment{
+		Net: transport.NewNetwork(topo),
+		Svc: coord.NewService(),
+	}
+	d.nextClient.Store(20000)
+	return d
+}
+
+// Close shuts everything down in reverse start order.
+func (d *Deployment) Close() {
+	d.mu.Lock()
+	fns := d.cleanup
+	d.cleanup = nil
+	d.mu.Unlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+	d.Net.Close()
+}
+
+func (d *Deployment) onClose(fn func()) {
+	d.mu.Lock()
+	d.cleanup = append(d.cleanup, fn)
+	d.mu.Unlock()
+}
+
+// Client bundles a client-side stack: transport, node and smr client.
+type Client struct {
+	ID  transport.ProcessID
+	SMR *smr.Client
+
+	node *core.Node
+	tr   transport.Transport
+}
+
+// Close releases the client's resources.
+func (c *Client) Close() {
+	c.SMR.Close()
+	c.node.Stop()
+	_ = c.tr.Close()
+}
+
+// NewClient attaches a fresh client process at a site.
+func (d *Deployment) NewClient(site netem.Site) (*Client, error) {
+	id := transport.ProcessID(d.nextClient.Add(1))
+	tr := d.Net.Attach(id, site)
+	router := transport.NewRouter(tr)
+	node, err := core.New(core.Config{Self: id, Router: router, Coord: d.Svc})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := smr.NewClient(smr.ClientConfig{
+		Self: id, Node: node, Transport: tr, Service: router.Service(),
+	})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Client{ID: id, SMR: cl, node: node, tr: tr}, nil
+}
+
+// StoreOptions configures a StartStore deployment.
+type StoreOptions struct {
+	// Partitions and Replicas set the layout (paper: 3 partitions × 3
+	// replicas in Figure 4; 4 regional partitions in Figure 7).
+	Partitions int
+	Replicas   int
+	// Global adds a global ring all replicas subscribe to (Figure 4's
+	// plain "MRP-Store"; false gives "MRP-Store indep. rings").
+	Global bool
+	// Kind selects hash or range partitioning (default hash).
+	Kind store.SchemaKind
+	// SiteOf places each partition's processes (nil = everything local).
+	SiteOf func(partition int) netem.Site
+	// Ring tunes the consensus rings.
+	Ring core.RingOptions
+	// M is the deterministic merge quota (default 1).
+	M int
+	// GlobalLambda overrides rate-leveling λ on the global ring.
+	GlobalLambda int
+	// CheckpointEvery commands between replica checkpoints (0 off).
+	CheckpointEvery int
+	// RecoveryTimeout enables peer recovery on restart.
+	RecoveryTimeout time.Duration
+	// NewLog supplies acceptor logs per (ring, process); nil = memory.
+	NewLog func(ring transport.RingID, self transport.ProcessID) storage.Log
+}
+
+// StoreCluster is a running MRP-Store deployment.
+type StoreCluster struct {
+	D      *Deployment
+	Schema store.Schema
+	opts   StoreOptions
+
+	mu      sync.Mutex
+	servers map[transport.ProcessID]*store.Server
+	ckpts   map[transport.ProcessID]recovery.Store
+}
+
+// StartStore boots an MRP-Store cluster: one ring per partition (members:
+// the partition's replicas with all roles), optionally a global ring whose
+// acceptors are the first replica of each partition and whose learners are
+// all replicas.
+func (d *Deployment) StartStore(opts StoreOptions) (*StoreCluster, error) {
+	if opts.Partitions == 0 {
+		opts.Partitions = 3
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = 3
+	}
+	if opts.Kind == 0 {
+		opts.Kind = store.HashPartitioned
+	}
+	siteOf := opts.SiteOf
+	if siteOf == nil {
+		siteOf = func(int) netem.Site { return netem.SiteLocal }
+	}
+
+	groups := make([]transport.RingID, opts.Partitions)
+	for p := 1; p <= opts.Partitions; p++ {
+		groups[p-1] = transport.RingID(p)
+		var members []coord.Member
+		for r := 1; r <= opts.Replicas; r++ {
+			members = append(members, coord.Member{
+				ID:    ReplicaID(p, r),
+				Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner,
+			})
+		}
+		if err := d.Svc.CreateRing(transport.RingID(p), members); err != nil {
+			return nil, err
+		}
+	}
+	global := transport.RingID(0)
+	if opts.Global {
+		global = GlobalRing
+		var members []coord.Member
+		for p := 1; p <= opts.Partitions; p++ {
+			for r := 1; r <= opts.Replicas; r++ {
+				roles := coord.RoleProposer | coord.RoleLearner
+				if r == 1 {
+					roles |= coord.RoleAcceptor
+				}
+				members = append(members, coord.Member{ID: ReplicaID(p, r), Roles: roles})
+			}
+		}
+		if err := d.Svc.CreateRing(global, members); err != nil {
+			return nil, err
+		}
+	}
+
+	var schema store.Schema
+	if opts.Kind == store.RangePartitioned {
+		schema = store.RangeSchema(groups, global)
+	} else {
+		schema = store.HashSchema(groups, global)
+	}
+	if err := store.PublishSchema(d.Svc, schema); err != nil {
+		return nil, err
+	}
+
+	c := &StoreCluster{
+		D:       d,
+		Schema:  schema,
+		opts:    opts,
+		servers: make(map[transport.ProcessID]*store.Server),
+		ckpts:   make(map[transport.ProcessID]recovery.Store),
+	}
+	for p := 1; p <= opts.Partitions; p++ {
+		for r := 1; r <= opts.Replicas; r++ {
+			if err := c.startServer(p, r, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.onClose(c.StopAll)
+	return c, nil
+}
+
+// startServer boots one replica process. peerRecovery controls whether the
+// replica consults partition peers for newer checkpoints.
+func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
+	id := ReplicaID(p, r)
+	site := netem.SiteLocal
+	if c.opts.SiteOf != nil {
+		site = c.opts.SiteOf(p)
+	}
+	tr := c.D.Net.Attach(id, site)
+	router := transport.NewRouter(tr)
+	var peers []transport.ProcessID
+	for rr := 1; rr <= c.opts.Replicas; rr++ {
+		if rr != r {
+			peers = append(peers, ReplicaID(p, rr))
+		}
+	}
+	c.mu.Lock()
+	ckpt, ok := c.ckpts[id]
+	if !ok {
+		ckpt = recovery.NewMemStore()
+		c.ckpts[id] = ckpt
+	}
+	c.mu.Unlock()
+
+	cfg := store.ServerConfig{
+		Self:            id,
+		Partition:       transport.RingID(p),
+		Peers:           peers,
+		Router:          router,
+		Coord:           c.D.Svc,
+		Checkpoints:     ckpt,
+		CheckpointEvery: c.opts.CheckpointEvery,
+		Ring:            c.opts.Ring,
+		M:               c.opts.M,
+		GlobalLambda:    c.opts.GlobalLambda,
+	}
+	if peerRecovery {
+		cfg.RecoveryTimeout = c.opts.RecoveryTimeout
+	}
+	if c.opts.NewLog != nil {
+		cfg.NewLog = func(ring transport.RingID) storage.Log {
+			return c.opts.NewLog(ring, id)
+		}
+	}
+	srv, err := store.NewServer(cfg)
+	if err != nil {
+		return fmt.Errorf("cluster: start store server %d: %w", id, err)
+	}
+	c.mu.Lock()
+	c.servers[id] = srv
+	c.mu.Unlock()
+	return nil
+}
+
+// Server returns the replica r of partition p.
+func (c *StoreCluster) Server(p, r int) *store.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[ReplicaID(p, r)]
+}
+
+// NewClient attaches a store client at a site.
+func (c *StoreCluster) NewClient(site netem.Site) (*store.Client, *Client, error) {
+	cl, err := c.D.NewClient(site)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := store.NewClient(c.D.Svc, cl.SMR)
+	if err != nil {
+		cl.Close()
+		return nil, nil, err
+	}
+	return sc, cl, nil
+}
+
+// Crash kills replica r of partition p: network detach, server stop,
+// liveness mark. Volatile state is lost; the checkpoint store survives
+// (stable storage).
+func (c *StoreCluster) Crash(p, r int) {
+	id := ReplicaID(p, r)
+	c.D.Net.Detach(id)
+	c.mu.Lock()
+	srv := c.servers[id]
+	delete(c.servers, id)
+	c.mu.Unlock()
+	if srv != nil {
+		srv.Stop()
+	}
+	c.D.Svc.MarkDown(id)
+}
+
+// Restart recovers replica r of partition p from its stable checkpoint
+// store, consulting peers when the cluster was configured with a
+// RecoveryTimeout.
+func (c *StoreCluster) Restart(p, r int) error {
+	id := ReplicaID(p, r)
+	c.D.Svc.MarkUp(id)
+	return c.startServer(p, r, c.opts.RecoveryTimeout > 0)
+}
+
+// DropCheckpoints simulates losing a replica's stable storage.
+func (c *StoreCluster) DropCheckpoints(p, r int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ckpts[ReplicaID(p, r)] = recovery.NewMemStore()
+}
+
+// StopAll halts every server.
+func (c *StoreCluster) StopAll() {
+	c.mu.Lock()
+	servers := c.servers
+	c.servers = make(map[transport.ProcessID]*store.Server)
+	c.mu.Unlock()
+	for _, s := range servers {
+		s.Stop()
+	}
+}
+
+// DLogOptions configures a StartDLog deployment.
+type DLogOptions struct {
+	// Logs is the number of shared logs (one ring each, ids 1..Logs).
+	Logs int
+	// Servers is the number of dLog server processes. Every server is a
+	// member of every log ring and hosts every log (the paper co-locates
+	// rings on three machines in Figures 5 and 6).
+	Servers int
+	// Global adds a common ring for multi-append (Figure 6 subscribes
+	// learners to k rings "and a common ring shared by all learners").
+	Global bool
+	// Ring tunes the consensus rings.
+	Ring core.RingOptions
+	// M is the deterministic merge quota.
+	M int
+	// NewAcceptorLog supplies per-ring acceptor logs (Figure 6: one disk
+	// per ring); nil = memory.
+	NewAcceptorLog func(ring transport.RingID, self transport.ProcessID) storage.Log
+	// NewDataDisk supplies the dLog entry store per server; nil = none
+	// (memory only).
+	NewDataDisk func(self transport.ProcessID) storage.Log
+	// CacheLimit bounds each server's per-log entry cache in bytes.
+	CacheLimit int
+}
+
+// DLogCluster is a running dLog deployment.
+type DLogCluster struct {
+	D      *Deployment
+	Global transport.RingID
+	opts   DLogOptions
+
+	mu   sync.Mutex
+	sms  map[transport.ProcessID]*dlog.SM
+	reps map[transport.ProcessID]*smr.Replica
+}
+
+// DLogServerID is the process id of dLog server s (1-based).
+func DLogServerID(s int) transport.ProcessID { return transport.ProcessID(9000 + s) }
+
+// StartDLog boots a dLog cluster.
+func (d *Deployment) StartDLog(opts DLogOptions) (*DLogCluster, error) {
+	if opts.Logs == 0 {
+		opts.Logs = 1
+	}
+	if opts.Servers == 0 {
+		opts.Servers = 3
+	}
+	var members []coord.Member
+	for s := 1; s <= opts.Servers; s++ {
+		members = append(members, coord.Member{
+			ID:    DLogServerID(s),
+			Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner,
+		})
+	}
+	groups := make([]transport.RingID, 0, opts.Logs+1)
+	for l := 1; l <= opts.Logs; l++ {
+		if err := d.Svc.CreateRing(transport.RingID(l), members); err != nil {
+			return nil, err
+		}
+		groups = append(groups, transport.RingID(l))
+	}
+	global := transport.RingID(0)
+	if opts.Global {
+		global = GlobalRing
+		if err := d.Svc.CreateRing(global, members); err != nil {
+			return nil, err
+		}
+		groups = append(groups, global)
+	}
+
+	c := &DLogCluster{
+		D:      d,
+		Global: global,
+		opts:   opts,
+		sms:    make(map[transport.ProcessID]*dlog.SM),
+		reps:   make(map[transport.ProcessID]*smr.Replica),
+	}
+	hosted := make([]dlog.LogID, opts.Logs)
+	for l := 1; l <= opts.Logs; l++ {
+		hosted[l-1] = dlog.LogID(l)
+	}
+	for s := 1; s <= opts.Servers; s++ {
+		id := DLogServerID(s)
+		tr := d.Net.Attach(id, netem.SiteLocal)
+		router := transport.NewRouter(tr)
+		var dataDisk storage.Log
+		if opts.NewDataDisk != nil {
+			dataDisk = opts.NewDataDisk(id)
+		}
+		sm := dlog.NewSM(dlog.SMConfig{Hosted: hosted, Disk: dataDisk, CacheLimit: opts.CacheLimit})
+		nodeCfg := core.Config{
+			Self: id, Router: router, Coord: d.Svc,
+			M: opts.M, Ring: opts.Ring,
+		}
+		if opts.NewAcceptorLog != nil {
+			nodeCfg.NewLog = func(ring transport.RingID) storage.Log {
+				return opts.NewAcceptorLog(ring, id)
+			}
+		}
+		node, err := core.New(nodeCfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := smr.NewReplica(smr.ReplicaConfig{
+			Self:      id,
+			Partition: transport.RingID(1), // all servers share one partition
+			Groups:    groups,
+			Node:      node,
+			Transport: tr,
+			Service:   router.Service(),
+			SM:        sm,
+		}, recovery.Checkpoint{})
+		if err != nil {
+			node.Stop()
+			return nil, fmt.Errorf("cluster: start dlog server %d: %w", id, err)
+		}
+		c.sms[id] = sm
+		c.reps[id] = rep
+	}
+	d.onClose(c.StopAll)
+	return c, nil
+}
+
+// SM returns server s's state machine (instrumentation).
+func (c *DLogCluster) SM(s int) *dlog.SM {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sms[DLogServerID(s)]
+}
+
+// NewClient attaches a dLog client. All servers of this layout host every
+// log (one partition), so multi-appends need a single partition response.
+func (c *DLogCluster) NewClient() (*dlog.Client, *Client, error) {
+	cl, err := c.D.NewClient(netem.SiteLocal)
+	if err != nil {
+		return nil, nil, err
+	}
+	dc := dlog.NewClient(cl.SMR, c.Global)
+	dc.Partitions = 1
+	return dc, cl, nil
+}
+
+// StopAll halts every server.
+func (c *DLogCluster) StopAll() {
+	c.mu.Lock()
+	reps := c.reps
+	c.reps = make(map[transport.ProcessID]*smr.Replica)
+	c.mu.Unlock()
+	for _, r := range reps {
+		r.Stop()
+	}
+}

@@ -1,0 +1,471 @@
+// Package core implements Multi-Ring Paxos, the paper's primary
+// contribution: an atomic multicast protocol composed of coordinated Ring
+// Paxos instances (Section 4).
+//
+// Each multicast group γ maps 1:1 to a ring. The group-addressing
+// semantics are "inverted" with respect to classical atomic multicast
+// (Section 3): a client addresses exactly one group per multicast, and
+// each server subscribes to any set of groups it is interested in — like
+// IP multicast. The set of groups a replica subscribes to defines its
+// partition (Section 5.2).
+//
+// Ordered delivery across groups uses deterministic merge: a learner
+// subscribed to rings r1 < r2 < ... delivers messages decided in M
+// consensus instances from r1, then M from r2, and so on, cyclically.
+// Because merge order is a pure function of (subscription set, M, decided
+// sequences, start position), any two learners with the same subscription
+// deliver the same global sequence — atomic multicast's acyclic order
+// property.
+//
+// Unbalanced group load would make everyone run at the slowest group's
+// pace, so coordinators of slow rings fill their windows with skip
+// instances (rate leveling, configured by Δ and λ); the merge layer
+// consumes skips silently, advancing the round-robin.
+//
+// Delivery is synchronous: Subscribe takes a handler invoked inline by the
+// merge goroutine. This makes checkpointing trivially consistent — inside
+// the handler, DeliveredVector and MergeCursor exactly describe the state
+// after the current delivery, which is what Section 5.2's tuple-identified
+// checkpoints require.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amcast/internal/coord"
+	"amcast/internal/recovery"
+	"amcast/internal/ring"
+	"amcast/internal/storage"
+	"amcast/internal/transport"
+)
+
+// Delivery is one application message delivered by atomic multicast.
+type Delivery struct {
+	// Group the message was multicast to.
+	Group transport.RingID
+	// Instance is the consensus instance within the group's ring.
+	Instance uint64
+	// ValueID is the proposal's unique identifier.
+	ValueID uint64
+	// Data is the multicast payload.
+	Data []byte
+}
+
+// Handler consumes deliveries in merged order. It runs on the merge
+// goroutine; blocking it back-pressures the whole subscription.
+type Handler func(Delivery)
+
+// RingOptions tunes every ring this node participates in.
+type RingOptions struct {
+	// Window bounds outstanding undecided instances at coordinators.
+	Window int
+	// MaxPending bounds queued proposals at coordinators.
+	MaxPending int
+	// RetryInterval drives coordinator re-proposals and gap chasing.
+	RetryInterval time.Duration
+	// DeliverBuffer is each ring's local delivery buffer.
+	DeliverBuffer int
+	// SkipEnabled turns on rate leveling.
+	SkipEnabled bool
+	// Delta is the rate-leveling interval (paper: 5 ms LAN, 20 ms WAN).
+	Delta time.Duration
+	// Lambda is the maximum expected rate, msgs/s (paper: 9000 LAN,
+	// 2000 WAN).
+	Lambda int
+	// TrimInterval enables coordinator-driven acceptor log trimming.
+	TrimInterval time.Duration
+	// BatchBytes enables coordinator message packing up to this many
+	// payload bytes per consensus instance (paper: 32 KB).
+	BatchBytes int
+}
+
+// Config configures a Multi-Ring Paxos node.
+type Config struct {
+	// Self is this process's identifier.
+	Self transport.ProcessID
+	// Router delivers this process's incoming messages.
+	Router *transport.Router
+	// Coord is the coordination service with ring configurations.
+	Coord *coord.Service
+	// NewLog builds the stable log for each ring this process accepts
+	// in. Figure 6 attaches one disk per ring through this hook.
+	// Defaults to in-memory logs.
+	NewLog func(transport.RingID) storage.Log
+	// M is the deterministic-merge quota: consensus instances delivered
+	// per ring per round-robin turn. The paper uses M=1.
+	M int
+	// Ring tunes the per-ring protocol.
+	Ring RingOptions
+	// LambdaOverride raises or lowers the rate-leveling λ for specific
+	// rings (e.g. a global ring whose skip stream must outrun the
+	// partition rings so the deterministic merge never waits on it).
+	LambdaOverride map[transport.RingID]int
+	// StartVector resumes delivery after a recovered checkpoint: for
+	// each subscribed group, delivery starts at StartVector[g]+1.
+	StartVector recovery.Vector
+	// StartCursor resumes the merge round-robin at the checkpointed
+	// position. Zero value starts a fresh merge.
+	StartCursor Cursor
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.M == 0 {
+		out.M = 1
+	}
+	if out.NewLog == nil {
+		out.NewLog = func(transport.RingID) storage.Log { return storage.NewMemLog() }
+	}
+	return out
+}
+
+// Errors returned by Node operations.
+var (
+	ErrNotMember     = errors.New("core: process is not a member of the ring")
+	ErrNotSubscribed = errors.New("core: ring not joined with the learner role")
+	ErrStopped       = errors.New("core: node stopped")
+)
+
+// Node is one process's Multi-Ring Paxos endpoint: it can multicast to any
+// group and, after Subscribe, delivers the merged ordered stream of all
+// groups it subscribes to.
+type Node struct {
+	cfg   Config
+	id    transport.ProcessID
+	tr    transport.Transport
+	coord *coord.Service
+
+	mu         sync.Mutex
+	rings      map[transport.RingID]*ring.Node
+	subscribed []transport.RingID
+	vector     recovery.Vector // delivered high-water marks
+	cursor     Cursor          // merge position (updated by merge loop)
+	merging    bool
+	stopped    bool
+
+	mergeDone chan struct{}
+	done      chan struct{}
+
+	proposeSeq atomic.Uint32
+	delivered  atomic.Uint64
+}
+
+// New creates a Multi-Ring Paxos node. Join rings and Subscribe to start
+// delivering.
+func New(cfg Config) (*Node, error) {
+	if cfg.Router == nil || cfg.Coord == nil {
+		return nil, errors.New("core: Router and Coord are required")
+	}
+	c := cfg.withDefaults()
+	return &Node{
+		cfg:       c,
+		id:        c.Self,
+		tr:        c.Router.Transport(),
+		coord:     c.Coord,
+		rings:     make(map[transport.RingID]*ring.Node),
+		vector:    make(recovery.Vector),
+		mergeDone: make(chan struct{}),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Join makes this process participate in a ring with the roles recorded in
+// the coordination service (acceptor, proposer and/or learner).
+func (n *Node) Join(ringID transport.RingID) error {
+	rc, ok := n.coord.Ring(ringID)
+	if !ok {
+		return fmt.Errorf("core: ring %d not registered", ringID)
+	}
+	roles := rc.Roles(n.id)
+	if roles == 0 {
+		return ErrNotMember
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return ErrStopped
+	}
+	if _, ok := n.rings[ringID]; ok {
+		return nil // already joined
+	}
+	var log storage.Log
+	if roles.Has(coord.RoleAcceptor) {
+		log = n.cfg.NewLog(ringID)
+	}
+	lambda := n.cfg.Ring.Lambda
+	if l, ok := n.cfg.LambdaOverride[ringID]; ok {
+		lambda = l
+	}
+	rn, err := ring.New(ring.Config{
+		Ring:          ringID,
+		Self:          n.id,
+		Router:        n.cfg.Router,
+		Coord:         n.coord,
+		Log:           log,
+		Window:        n.cfg.Ring.Window,
+		MaxPending:    n.cfg.Ring.MaxPending,
+		RetryInterval: n.cfg.Ring.RetryInterval,
+		DeliverBuffer: n.cfg.Ring.DeliverBuffer,
+		SkipEnabled:   n.cfg.Ring.SkipEnabled,
+		Delta:         n.cfg.Ring.Delta,
+		Lambda:        lambda,
+		TrimInterval:  n.cfg.Ring.TrimInterval,
+		BatchBytes:    n.cfg.Ring.BatchBytes,
+		StartInstance: n.cfg.StartVector[ringID] + 1,
+	})
+	if err != nil {
+		return err
+	}
+	n.rings[ringID] = rn
+	return nil
+}
+
+// Subscribe declares the set of groups this process delivers from and
+// starts the deterministic merge, invoking handler inline for every
+// delivered message. All groups must be joined with the learner role.
+// Subscribe may be called once.
+func (n *Node) Subscribe(handler Handler, groups ...transport.RingID) error {
+	if handler == nil {
+		return errors.New("core: nil delivery handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return ErrStopped
+	}
+	if n.merging {
+		return errors.New("core: already subscribed")
+	}
+	if len(groups) == 0 {
+		return errors.New("core: empty subscription")
+	}
+	set := make(map[transport.RingID]bool, len(groups))
+	sorted := append([]transport.RingID(nil), groups...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var chans []<-chan ring.Delivery
+	for _, g := range sorted {
+		if set[g] {
+			return fmt.Errorf("core: duplicate group %d in subscription", g)
+		}
+		set[g] = true
+		rn, ok := n.rings[g]
+		if !ok {
+			return ErrNotSubscribed
+		}
+		rc, _ := n.coord.Ring(g)
+		if !rc.Roles(n.id).Has(coord.RoleLearner) {
+			return ErrNotSubscribed
+		}
+		chans = append(chans, rn.Deliveries())
+		if _, ok := n.vector[g]; !ok {
+			n.vector[g] = n.cfg.StartVector[g]
+		}
+	}
+	// Restore or initialize the merge cursor.
+	cur := n.cfg.StartCursor.Clone()
+	if len(cur.Groups) == 0 {
+		cur = Cursor{Groups: sorted, Credits: make([]uint64, len(sorted))}
+	} else {
+		if len(cur.Groups) != len(sorted) {
+			return errors.New("core: cursor subscription mismatch")
+		}
+		for i := range sorted {
+			if cur.Groups[i] != sorted[i] {
+				return errors.New("core: cursor subscription mismatch")
+			}
+		}
+	}
+	n.subscribed = sorted
+	n.cursor = cur
+	n.merging = true
+	go n.merge(sorted, chans, handler, cur.Clone())
+	return nil
+}
+
+// merge implements the deterministic merge: round-robin over subscribed
+// rings in ascending ring-id order, consuming M consensus instances per
+// turn. Skip values advance the cursor without delivering. Credit from
+// skip ranges that overshoot a turn's quota carries over to later turns,
+// so all learners observe identical turn boundaries.
+func (n *Node) merge(groups []transport.RingID, chans []<-chan ring.Delivery, handler Handler, cur Cursor) {
+	defer close(n.mergeDone)
+	m := uint64(n.cfg.M)
+	for {
+		i := cur.Next
+		if cur.Remaining == 0 {
+			if cur.Credits[i] >= m {
+				cur.Credits[i] -= m
+				cur.Next = (i + 1) % len(groups)
+				n.storeCursor(cur)
+				continue
+			}
+			cur.Remaining = m - cur.Credits[i]
+			cur.Credits[i] = 0
+		}
+		for cur.Remaining > 0 {
+			var d ring.Delivery
+			var ok bool
+			select {
+			case d, ok = <-chans[i]:
+				if !ok {
+					return // ring stopped; shut down merge
+				}
+			case <-n.done:
+				return
+			}
+			span := d.Value.Span()
+			if span >= cur.Remaining {
+				cur.Credits[i] += span - cur.Remaining
+				cur.Remaining = 0
+			} else {
+				cur.Remaining -= span
+			}
+			end := d.Instance + span - 1
+			if cur.Remaining == 0 {
+				// Normalize so a snapshot taken now resumes at
+				// the next group's turn.
+				cur.Next = (i + 1) % len(groups)
+			}
+			n.noteDelivered(groups[i], end, cur)
+			switch {
+			case d.Value.Skip:
+				// Rate-leveling filler: consumed silently.
+			case d.Value.Batched:
+				// Unpack message-packed proposals (one consensus
+				// instance, several application messages).
+				if sub, err := transport.DecodeBatch(d.Value.Data); err == nil {
+					for _, iv := range sub {
+						n.delivered.Add(1)
+						handler(Delivery{
+							Group:    groups[i],
+							Instance: d.Instance,
+							ValueID:  iv.Value.ID,
+							Data:     iv.Value.Data,
+						})
+					}
+				}
+			default:
+				n.delivered.Add(1)
+				handler(Delivery{
+					Group:    groups[i],
+					Instance: d.Instance,
+					ValueID:  d.Value.ID,
+					Data:     d.Value.Data,
+				})
+			}
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// noteDelivered advances the delivered mark for a group and publishes the
+// cursor, so DeliveredVector/MergeCursor are consistent inside handlers.
+func (n *Node) noteDelivered(g transport.RingID, upTo uint64, cur Cursor) {
+	n.mu.Lock()
+	if upTo > n.vector[g] {
+		n.vector[g] = upTo
+	}
+	n.cursor = cur.Clone()
+	n.mu.Unlock()
+}
+
+func (n *Node) storeCursor(cur Cursor) {
+	n.mu.Lock()
+	n.cursor = cur.Clone()
+	n.mu.Unlock()
+}
+
+// DeliveredVector snapshots the per-group delivered instance high-water
+// marks (the tuple k_p of Section 5.2). Inside a delivery handler it
+// reflects exactly the deliveries up to and including the current one, and
+// satisfies Predicate 1 (x < y ⇒ k[x] ≥ k[y]) at merge-turn boundaries.
+func (n *Node) DeliveredVector() recovery.Vector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.vector.Clone()
+}
+
+// MergeCursor snapshots the merge position. Pair it with DeliveredVector
+// (read atomically inside a delivery handler) to identify a checkpoint.
+func (n *Node) MergeCursor() Cursor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cursor.Clone()
+}
+
+// Subscription returns the subscribed groups in ascending order (the
+// partition this node belongs to).
+func (n *Node) Subscription() []transport.RingID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]transport.RingID(nil), n.subscribed...)
+}
+
+// Multicast sends data to group γ: the value is proposed to the ring's
+// coordinator. The caller need not be a member of the ring (clients act as
+// proposers). Delivery is not guaranteed; callers retry end-to-end.
+func (n *Node) Multicast(group transport.RingID, data []byte) error {
+	select {
+	case <-n.done:
+		return ErrStopped
+	default:
+	}
+	n.mu.Lock()
+	rn := n.rings[group]
+	n.mu.Unlock()
+	if rn != nil {
+		return rn.Propose(data)
+	}
+	rc, ok := n.coord.Ring(group)
+	if !ok {
+		return fmt.Errorf("core: ring %d not registered", group)
+	}
+	if rc.Coordinator == 0 {
+		return ring.ErrNoCoordinator
+	}
+	return n.tr.Send(rc.Coordinator, transport.Message{
+		Kind: transport.KindProposal,
+		Ring: group,
+		Value: transport.Value{
+			ID:    transport.MakeValueID(n.id, n.proposeSeq.Add(1)),
+			Count: 1,
+			Data:  data,
+		},
+	})
+}
+
+// DeliveredCount reports the number of application messages delivered.
+func (n *Node) DeliveredCount() uint64 { return n.delivered.Load() }
+
+// Stop shuts down the merge and every joined ring.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	merging := n.merging
+	rings := make([]*ring.Node, 0, len(n.rings))
+	for _, rn := range n.rings {
+		rings = append(rings, rn)
+	}
+	n.mu.Unlock()
+
+	close(n.done)
+	for _, rn := range rings {
+		rn.Stop()
+	}
+	if merging {
+		<-n.mergeDone
+	}
+}

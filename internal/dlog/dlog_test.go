@@ -1,0 +1,179 @@
+package dlog
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"amcast/internal/storage"
+)
+
+func TestOpRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpAppend, Log: 1, Value: []byte("entry")},
+		{Kind: OpMultiAppend, Logs: []LogID{1, 2, 9}, Value: []byte("x")},
+		{Kind: OpRead, Log: 2, Pos: 42},
+		{Kind: OpTrim, Log: 3, Pos: 100},
+	}
+	for _, op := range ops {
+		got, err := DecodeOp(op.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(op, got) {
+			t.Errorf("round trip: got %+v want %+v", got, op)
+		}
+	}
+}
+
+func TestOpDecodeTruncated(t *testing.T) {
+	full := (Op{Kind: OpMultiAppend, Logs: []LogID{1, 2}, Value: []byte("value")}).Encode()
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeOp(full[:i]); err == nil {
+			t.Fatalf("accepted truncation at %d", i)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	r := Result{
+		Status:    StatusOK,
+		Positions: map[LogID]uint64{1: 10, 7: 3},
+		Value:     []byte("payload"),
+	}
+	got, err := DecodeResult(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip: got %+v want %+v", got, r)
+	}
+}
+
+func TestOpRoundTripQuick(t *testing.T) {
+	f := func(kind uint8, logID uint32, pos uint64, value []byte) bool {
+		op := Op{Kind: OpKind(kind), Log: LogID(logID), Pos: pos, Value: value}
+		got, err := DecodeOp(op.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Kind == op.Kind && got.Log == op.Log && got.Pos == op.Pos &&
+			bytes.Equal(got.Value, op.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func execOp(t *testing.T, sm *SM, op Op) Result {
+	t.Helper()
+	res, err := DecodeResult(sm.Execute(1, op.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSMAppendReadTrim(t *testing.T) {
+	sm := NewSM(SMConfig{Hosted: []LogID{1}})
+	r := execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: []byte("a")})
+	if r.Status != StatusOK || r.Positions[1] != 0 {
+		t.Fatalf("first append = %+v", r)
+	}
+	r = execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: []byte("b")})
+	if r.Positions[1] != 1 {
+		t.Fatalf("second append = %+v", r)
+	}
+	r = execOp(t, sm, Op{Kind: OpRead, Log: 1, Pos: 0})
+	if r.Status != StatusOK || string(r.Value) != "a" {
+		t.Fatalf("read = %+v", r)
+	}
+	r = execOp(t, sm, Op{Kind: OpTrim, Log: 1, Pos: 1})
+	if r.Status != StatusOK {
+		t.Fatalf("trim = %+v", r)
+	}
+	if r := execOp(t, sm, Op{Kind: OpRead, Log: 1, Pos: 0}); r.Status != StatusNotFound {
+		t.Errorf("read of trimmed pos = %+v", r)
+	}
+	if r := execOp(t, sm, Op{Kind: OpRead, Log: 1, Pos: 1}); r.Status != StatusOK {
+		t.Errorf("read above trim = %+v", r)
+	}
+	if sm.LenOf(1) != 1 {
+		t.Errorf("LenOf = %d", sm.LenOf(1))
+	}
+	if sm.LenOf(99) != 0 {
+		t.Errorf("LenOf unknown log = %d", sm.LenOf(99))
+	}
+}
+
+func TestSMUnhostedLog(t *testing.T) {
+	sm := NewSM(SMConfig{Hosted: []LogID{1}})
+	if r := execOp(t, sm, Op{Kind: OpAppend, Log: 9, Value: []byte("x")}); r.Status != StatusNotFound {
+		t.Errorf("append to unhosted = %+v", r)
+	}
+	if r := execOp(t, sm, Op{Kind: OpMultiAppend, Logs: []LogID{9}, Value: nil}); r.Status != StatusNotFound {
+		t.Errorf("multi-append to unhosted = %+v", r)
+	}
+}
+
+func TestSMMultiAppendSubset(t *testing.T) {
+	sm := NewSM(SMConfig{Hosted: []LogID{1, 2}})
+	r := execOp(t, sm, Op{Kind: OpMultiAppend, Logs: []LogID{1, 2, 3}, Value: []byte("m")})
+	if r.Status != StatusOK || len(r.Positions) != 2 {
+		t.Fatalf("multi-append = %+v", r)
+	}
+}
+
+func TestSMCacheEvictionFallsBackToDisk(t *testing.T) {
+	disk := storage.NewMemLog()
+	sm := NewSM(SMConfig{Hosted: []LogID{1}, Disk: disk, CacheLimit: 64})
+	big := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 5; i++ {
+		execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: big})
+	}
+	// Early entries are evicted from cache, but reads must still work
+	// via the backing disk.
+	r := execOp(t, sm, Op{Kind: OpRead, Log: 1, Pos: 0})
+	if r.Status != StatusOK || !bytes.Equal(r.Value, big) {
+		t.Fatalf("read of evicted entry = status %d", r.Status)
+	}
+}
+
+func TestSMSnapshotRestore(t *testing.T) {
+	sm := NewSM(SMConfig{Hosted: []LogID{1, 2}})
+	for i := 0; i < 10; i++ {
+		execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: []byte{byte(i)}})
+	}
+	execOp(t, sm, Op{Kind: OpAppend, Log: 2, Value: []byte("two")})
+	execOp(t, sm, Op{Kind: OpTrim, Log: 1, Pos: 4})
+	snap := sm.Snapshot()
+
+	sm2 := NewSM(SMConfig{Hosted: []LogID{1, 2}})
+	if err := sm2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if sm2.LenOf(1) != 6 || sm2.LenOf(2) != 1 {
+		t.Fatalf("restored lens = %d, %d", sm2.LenOf(1), sm2.LenOf(2))
+	}
+	r := execOp(t, sm2, Op{Kind: OpRead, Log: 1, Pos: 7})
+	if r.Status != StatusOK || r.Value[0] != 7 {
+		t.Fatalf("restored read = %+v", r)
+	}
+	// Appends continue at the right position.
+	r = execOp(t, sm2, Op{Kind: OpAppend, Log: 1, Value: []byte("next")})
+	if r.Positions[1] != 10 {
+		t.Fatalf("append after restore = %+v", r)
+	}
+	if err := sm2.Restore([]byte{1}); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestSMGarbageOp(t *testing.T) {
+	sm := NewSM(SMConfig{Hosted: []LogID{1}})
+	res, err := DecodeResult(sm.Execute(1, []byte{0xff, 0x01}))
+	if err != nil || res.Status != StatusBadRequest {
+		t.Errorf("garbage op = %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package metrics provides the measurement primitives the benchmark
+// harness uses to regenerate the paper's figures: latency histograms with
+// quantiles and CDF extraction, throughput meters, and time series for the
+// recovery timeline (Figure 8).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations in logarithmic buckets (HdrHistogram-style:
+// ~5% relative precision) with lock-protected concurrent recording.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// bucketCount covers 1µs..~17min with 64 buckets per octave step below.
+const (
+	histBuckets = 1024
+	// histGrowth is the per-bucket growth factor: bucket i covers
+	// [base*g^i, base*g^(i+1)).
+	histGrowth = 1.05
+	histBase   = float64(time.Microsecond)
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+}
+
+func bucketOf(d time.Duration) int {
+	if d < time.Microsecond {
+		return 0
+	}
+	b := int(math.Log(float64(d)/histBase) / math.Log(histGrowth))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func bucketValue(b int) time.Duration {
+	return time.Duration(histBase * math.Pow(histGrowth, float64(b)+0.5))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 < q <= 1), e.g. 0.5 for the median.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			return bucketValue(b)
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// CDF extracts up to n evenly spaced points of the latency CDF, as plotted
+// in the paper's latency CDF graphs (Figures 3, 6 and 7).
+func (h *Histogram) CDF(n int) []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || n <= 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	step := 1.0 / float64(n)
+	next := step
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		frac := float64(cum) / float64(h.total)
+		if frac >= next || cum == h.total {
+			out = append(out, CDFPoint{Latency: bucketValue(b), Fraction: frac})
+			for next <= frac {
+				next += step
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot formats the histogram for reports.
+func (h *Histogram) Snapshot() string {
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		h.Count(),
+		ms(h.Mean()), ms(h.Quantile(0.50)), ms(h.Quantile(0.95)),
+		ms(h.Quantile(0.99)), ms(h.Max()))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Meter counts events and bytes over a measurement window.
+type Meter struct {
+	mu    sync.Mutex
+	n     uint64
+	bytes uint64
+	start time.Time
+}
+
+// NewMeter starts a meter.
+func NewMeter() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// Add records n events totalling b bytes.
+func (m *Meter) Add(n, b uint64) {
+	m.mu.Lock()
+	m.n += n
+	m.bytes += b
+	m.mu.Unlock()
+}
+
+// Reset zeroes the meter and restarts its clock.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.n, m.bytes = 0, 0
+	m.start = time.Now()
+	m.mu.Unlock()
+}
+
+// Rate returns events/sec and megabits/sec since start or last Reset.
+func (m *Meter) Rate() (opsPerSec, mbps float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0, 0
+	}
+	return float64(m.n) / elapsed, float64(m.bytes) * 8 / 1e6 / elapsed
+}
+
+// Counts returns raw totals.
+func (m *Meter) Counts() (n, bytes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n, m.bytes
+}
+
+// SeriesPoint is one sample of a time series.
+type SeriesPoint struct {
+	At    time.Duration // offset from series start
+	Value float64
+}
+
+// Series collects a time series, e.g. throughput per second during the
+// recovery experiment (Figure 8).
+type Series struct {
+	mu     sync.Mutex
+	start  time.Time
+	points []SeriesPoint
+}
+
+// NewSeries starts a series clocked from now.
+func NewSeries() *Series {
+	return &Series{start: time.Now()}
+}
+
+// Append records a sample at the current offset.
+func (s *Series) Append(v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, SeriesPoint{At: time.Since(s.start), Value: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the collected samples.
+func (s *Series) Points() []SeriesPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SeriesPoint(nil), s.points...)
+}
+
+// SortedCopy returns samples sorted by time (Append is already ordered when
+// called from one goroutine; this guards multi-recorder series).
+func (s *Series) SortedCopy() []SeriesPoint {
+	pts := s.Points()
+	sort.Slice(pts, func(i, j int) bool { return pts[i].At < pts[j].At })
+	return pts
+}

@@ -1,0 +1,179 @@
+// Package netem models wide-area and datacenter network links so that the
+// protocols in this repository can be evaluated under realistic latency and
+// bandwidth conditions without physical testbeds.
+//
+// The paper's "global experiments" ran across four Amazon EC2 regions
+// (eu-west-1, us-east-1, us-west-1, us-west-2). EC2Topology reproduces the
+// inter-region round-trip times of that era so the geo benchmarks exhibit
+// the same latency structure. All delays can be scaled down uniformly with
+// Topology.Scale so that tests and benchmarks complete quickly while
+// preserving latency ratios between links.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Site names a failure/latency domain (a datacenter or EC2 region).
+type Site string
+
+// Paper deployment sites (Amazon EC2 regions used in Section 8.4.2).
+const (
+	SiteLocal   Site = "local" // same datacenter, 0.1 ms RTT 10 Gbps LAN
+	SiteEUWest  Site = "eu-west-1"
+	SiteUSEast  Site = "us-east-1"
+	SiteUSWest  Site = "us-west-1"
+	SiteUSWest2 Site = "us-west-2"
+)
+
+// Link describes the characteristics of a unidirectional network path.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter is the maximum additional random delay, sampled uniformly
+	// from [0, Jitter).
+	Jitter time.Duration
+	// Bandwidth is the link capacity in bytes per second. Zero means
+	// unlimited (no serialization delay).
+	Bandwidth int64
+}
+
+// Transmission returns the serialization delay for a message of size bytes.
+func (l Link) Transmission(size int) time.Duration {
+	if l.Bandwidth <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / float64(l.Bandwidth) * float64(time.Second))
+}
+
+// Topology maps ordered site pairs to link characteristics. The zero value
+// is a topology where every path has zero delay.
+type Topology struct {
+	mu    sync.RWMutex
+	links map[[2]Site]Link
+	// scale multiplies all delays; 1.0 when unset via NewTopology.
+	scale float64
+	rng   *rand.Rand
+}
+
+// NewTopology returns an empty topology with scale 1.0.
+func NewTopology() *Topology {
+	return &Topology{
+		links: make(map[[2]Site]Link),
+		scale: 1.0,
+		rng:   rand.New(rand.NewSource(42)),
+	}
+}
+
+// SetLink installs the link characteristics for messages flowing from one
+// site to another. The reverse direction must be set separately (SetRTT sets
+// both).
+func (t *Topology) SetLink(from, to Site, l Link) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.links[[2]Site{from, to}] = l
+}
+
+// SetRTT installs symmetric links between two sites with the given
+// round-trip time; each direction gets half the RTT as one-way latency.
+func (t *Topology) SetRTT(a, b Site, rtt time.Duration, jitter time.Duration, bandwidth int64) {
+	l := Link{Latency: rtt / 2, Jitter: jitter, Bandwidth: bandwidth}
+	t.SetLink(a, b, l)
+	t.SetLink(b, a, l)
+}
+
+// SetScale multiplies every sampled delay by f. Benchmarks use f < 1 to
+// shrink wall-clock time while preserving the ratio between links.
+func (t *Topology) SetScale(f float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f <= 0 {
+		f = 1
+	}
+	t.scale = f
+}
+
+// Scale reports the current delay multiplier.
+func (t *Topology) Scale() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.scale
+}
+
+// Link returns the link characteristics from one site to another. Paths
+// within a site or without an installed link have zero delay.
+func (t *Topology) Link(from, to Site) Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.links[[2]Site{from, to}]
+}
+
+// Delay samples the total one-way delay (propagation + jitter + transmission)
+// for a message of size bytes sent from one site to another, scaled by the
+// topology's scale factor.
+func (t *Topology) Delay(from, to Site, size int) time.Duration {
+	t.mu.Lock()
+	l := t.links[[2]Site{from, to}]
+	d := l.Latency
+	if l.Jitter > 0 {
+		d += time.Duration(t.rng.Int63n(int64(l.Jitter)))
+	}
+	d += l.Transmission(size)
+	d = time.Duration(float64(d) * t.scale)
+	t.mu.Unlock()
+	return d
+}
+
+// String summarizes the topology for logs.
+func (t *Topology) String() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return fmt.Sprintf("netem.Topology{links: %d, scale: %.3f}", len(t.links), t.scale)
+}
+
+// LANTopology returns the paper's local-experiment network: a 10 Gbps
+// switch with 0.1 ms round-trip time between any pair of hosts.
+func LANTopology(sites ...Site) *Topology {
+	t := NewTopology()
+	const rtt = 100 * time.Microsecond
+	const bw = 10e9 / 8 // 10 Gbps in bytes/sec
+	for i, a := range sites {
+		for _, b := range sites[i+1:] {
+			t.SetRTT(a, b, rtt, 10*time.Microsecond, int64(bw))
+		}
+	}
+	return t
+}
+
+// EC2Regions are the four regions used in the paper's horizontal
+// scalability experiment (Figure 7), in the order partitions are added.
+var EC2Regions = []Site{SiteEUWest, SiteUSWest, SiteUSEast, SiteUSWest2}
+
+// ec2RTT holds approximate 2014-era inter-region round-trip times.
+var ec2RTT = map[[2]Site]time.Duration{
+	{SiteEUWest, SiteUSEast}:  80 * time.Millisecond,
+	{SiteEUWest, SiteUSWest}:  160 * time.Millisecond,
+	{SiteEUWest, SiteUSWest2}: 150 * time.Millisecond,
+	{SiteUSEast, SiteUSWest}:  80 * time.Millisecond,
+	{SiteUSEast, SiteUSWest2}: 70 * time.Millisecond,
+	{SiteUSWest, SiteUSWest2}: 25 * time.Millisecond,
+}
+
+// EC2Topology returns the paper's global-experiment network: four EC2
+// regions with realistic wide-area RTTs, ~1 Gbps inter-region bandwidth and
+// LAN characteristics within each region.
+func EC2Topology() *Topology {
+	t := NewTopology()
+	const wanBW = 1e9 / 8 // ~1 Gbps in bytes/sec
+	for pair, rtt := range ec2RTT {
+		t.SetRTT(pair[0], pair[1], rtt, rtt/20, int64(wanBW))
+	}
+	// Intra-region paths behave like the LAN.
+	for _, s := range EC2Regions {
+		t.SetRTT(s, s, 300*time.Microsecond, 30*time.Microsecond, int64(10e9/8))
+	}
+	return t
+}

@@ -1,0 +1,127 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkTransmission(t *testing.T) {
+	tests := []struct {
+		name string
+		link Link
+		size int
+		want time.Duration
+	}{
+		{"unlimited", Link{}, 1 << 20, 0},
+		{"zero size", Link{Bandwidth: 1000}, 0, 0},
+		{"1KB at 1MB/s", Link{Bandwidth: 1 << 20}, 1 << 10, time.Second / 1024},
+		{"negative size", Link{Bandwidth: 1000}, -5, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.link.Transmission(tt.size); got != tt.want {
+				t.Errorf("Transmission(%d) = %v, want %v", tt.size, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTopologyZeroValueDelay(t *testing.T) {
+	topo := NewTopology()
+	if d := topo.Delay("a", "b", 100); d != 0 {
+		t.Errorf("unconfigured path should have zero delay, got %v", d)
+	}
+}
+
+func TestSetRTTSymmetric(t *testing.T) {
+	topo := NewTopology()
+	topo.SetRTT("a", "b", 100*time.Millisecond, 0, 0)
+	ab := topo.Link("a", "b")
+	ba := topo.Link("b", "a")
+	if ab.Latency != 50*time.Millisecond || ba.Latency != 50*time.Millisecond {
+		t.Errorf("one-way latencies = %v, %v; want 50ms each", ab.Latency, ba.Latency)
+	}
+}
+
+func TestScaleShrinksDelay(t *testing.T) {
+	topo := NewTopology()
+	topo.SetRTT("a", "b", 100*time.Millisecond, 0, 0)
+	topo.SetScale(0.1)
+	d := topo.Delay("a", "b", 0)
+	if d != 5*time.Millisecond {
+		t.Errorf("scaled delay = %v, want 5ms", d)
+	}
+	topo.SetScale(0) // invalid resets to 1
+	if topo.Scale() != 1.0 {
+		t.Errorf("SetScale(0) should reset to 1.0, got %v", topo.Scale())
+	}
+}
+
+func TestDelayIncludesJitterBounds(t *testing.T) {
+	topo := NewTopology()
+	topo.SetLink("a", "b", Link{Latency: 10 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	for i := 0; i < 200; i++ {
+		d := topo.Delay("a", "b", 0)
+		if d < 10*time.Millisecond || d >= 12*time.Millisecond {
+			t.Fatalf("delay %v outside [10ms, 12ms)", d)
+		}
+	}
+}
+
+func TestEC2TopologyCoversAllRegionPairs(t *testing.T) {
+	topo := EC2Topology()
+	for i, a := range EC2Regions {
+		for _, b := range EC2Regions[i+1:] {
+			if topo.Link(a, b).Latency == 0 {
+				t.Errorf("missing link %s -> %s", a, b)
+			}
+			if topo.Link(b, a).Latency == 0 {
+				t.Errorf("missing link %s -> %s", b, a)
+			}
+		}
+	}
+	// Intra-region is much faster than inter-region.
+	intra := topo.Link(SiteEUWest, SiteEUWest).Latency
+	inter := topo.Link(SiteEUWest, SiteUSEast).Latency
+	if intra >= inter {
+		t.Errorf("intra-region latency %v should be below inter-region %v", intra, inter)
+	}
+}
+
+func TestEC2GeoRatios(t *testing.T) {
+	topo := EC2Topology()
+	// eu-west <-> us-west-1 is the longest path; us-west-1 <-> us-west-2 the
+	// shortest inter-region one. The protocol benchmarks rely on this
+	// structure, so pin it down.
+	longest := topo.Link(SiteEUWest, SiteUSWest).Latency
+	shortest := topo.Link(SiteUSWest, SiteUSWest2).Latency
+	if longest <= shortest {
+		t.Fatalf("expected eu-west<->us-west-1 (%v) > us-west-1<->us-west-2 (%v)", longest, shortest)
+	}
+	if ratio := float64(longest) / float64(shortest); ratio < 4 {
+		t.Errorf("latency ratio %v too small; topology lost geo structure", ratio)
+	}
+}
+
+func TestLANTopology(t *testing.T) {
+	topo := LANTopology("h1", "h2", "h3")
+	if l := topo.Link("h1", "h3").Latency; l != 50*time.Microsecond {
+		t.Errorf("LAN one-way latency = %v, want 50µs", l)
+	}
+	if topo.Link("h2", "h1").Bandwidth == 0 {
+		t.Error("LAN link should have finite bandwidth")
+	}
+}
+
+func TestDelayMonotoneInSize(t *testing.T) {
+	topo := NewTopology()
+	topo.SetLink("a", "b", Link{Latency: time.Millisecond, Bandwidth: 1 << 20})
+	f := func(a, b uint16) bool {
+		small, large := int(a), int(a)+int(b)
+		return topo.Delay("a", "b", small) <= topo.Delay("a", "b", large)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

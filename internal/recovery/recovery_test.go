@@ -1,0 +1,220 @@
+package recovery
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"amcast/internal/transport"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	v := Vector{1: 100, 2: 90, 7: 5}
+	got, rest, err := DecodeVector(EncodeVector(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("unexpected trailing bytes: %d", len(rest))
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Errorf("round trip: got %v want %v", got, v)
+	}
+}
+
+func TestVectorRoundTripEmpty(t *testing.T) {
+	got, _, err := DecodeVector(EncodeVector(Vector{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected empty vector, got %v", got)
+	}
+}
+
+func TestVectorDecodeCorrupt(t *testing.T) {
+	full := EncodeVector(Vector{1: 5, 2: 3})
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeVector(full[:i]); err == nil && i < len(full) {
+			t.Fatalf("accepted truncation at %d", i)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want int
+	}{
+		{"equal", Vector{1: 5, 2: 3}, Vector{1: 5, 2: 3}, 0},
+		{"first group decides", Vector{1: 6, 2: 3}, Vector{1: 5, 2: 9}, 1},
+		{"a older", Vector{1: 4, 2: 3}, Vector{1: 5, 2: 3}, -1},
+		{"same partition later", Vector{1: 10, 2: 10}, Vector{1: 10, 2: 9}, 1},
+		{"missing group treated as zero", Vector{1: 1}, Vector{1: 1, 2: 0}, 0},
+		{"empty vs nonempty", Vector{}, Vector{1: 1}, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Compare(tt.a, tt.b); got != tt.want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint32) bool {
+		a := Vector{1: uint64(a1), 2: uint64(a2)}
+		b := Vector{1: uint64(b1), 2: uint64(b2)}
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := Checkpoint{
+		Vector: Vector{1: 42, 3: 41},
+		State:  []byte("the replicated state machine image"),
+	}
+	got, err := DecodeCheckpoint(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Vector, got.Vector) || !bytes.Equal(c.State, got.State) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, c)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	c := Checkpoint{Vector: Vector{1: 1}, State: []byte("state")}
+	buf := c.Encode()
+	buf[len(buf)/2] ^= 0xff
+	if _, err := DecodeCheckpoint(buf); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Latest(); ok {
+		t.Error("empty store returned a checkpoint")
+	}
+	if err := s.Save(Checkpoint{Vector: Vector{1: 1}, State: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(Checkpoint{Vector: Vector{1: 2}, State: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.Latest()
+	if !ok || c.Vector[1] != 2 || string(c.State) != "b" {
+		t.Errorf("Latest = %+v, %v", c, ok)
+	}
+	if s.Saves() != 2 {
+		t.Errorf("Saves = %d", s.Saves())
+	}
+	// Mutating the returned checkpoint must not affect the store.
+	c.State[0] = 'X'
+	c2, _ := s.Latest()
+	if string(c2.State) != "b" {
+		t.Error("Latest must return copies")
+	}
+}
+
+func TestFileStoreSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		err := s.Save(Checkpoint{Vector: Vector{1: i, 2: i - 1}, State: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, ok := s.Latest()
+	if !ok || c.Vector[1] != 5 {
+		t.Fatalf("Latest = %+v, %v", c, ok)
+	}
+	// Only 2 files retained.
+	if nums := s.listNums(); len(nums) != 2 {
+		t.Errorf("retained %d checkpoints, want 2", len(nums))
+	}
+
+	// A new store over the same dir picks up where we left.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := s2.Latest()
+	if !ok || c2.Vector[1] != 5 || c2.State[0] != 5 {
+		t.Errorf("reopened Latest = %+v, %v", c2, ok)
+	}
+}
+
+func TestFileStoreFallsBackOnCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(Checkpoint{Vector: Vector{1: 1}, State: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(Checkpoint{Vector: Vector{1: 2}, State: []byte("newest")}); err != nil {
+		t.Fatal(err)
+	}
+	nums := s.listNums()
+	// Corrupt the newest file.
+	if err := writeJunk(s.path(nums[len(nums)-1])); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.Latest()
+	if !ok || string(c.State) != "good" {
+		t.Errorf("fallback Latest = %+v, %v; want the previous checkpoint", c, ok)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1: 1}
+	c := v.Clone()
+	c[1] = 99
+	if v[1] != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestPredicate1TotalOrderProperty(t *testing.T) {
+	// For vectors respecting Predicate 1 over groups {1,2}
+	// (v[1] >= v[2]), Compare must be a total order consistent with
+	// componentwise dominance.
+	f := func(a1off, a2, b1off, b2 uint16) bool {
+		a := Vector{1: uint64(a2) + uint64(a1off), 2: uint64(a2)}
+		b := Vector{1: uint64(b2) + uint64(b1off), 2: uint64(b2)}
+		cmp := Compare(a, b)
+		if a[1] >= b[1] && a[2] >= b[2] && cmp < 0 {
+			return false
+		}
+		if a[1] <= b[1] && a[2] <= b[2] && cmp > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func writeJunk(path string) error {
+	return os.WriteFile(path, []byte("junkjunkjunk"), 0o644)
+}
+
+var _ = transport.RingID(0)

@@ -1,0 +1,58 @@
+package ring
+
+import (
+	"encoding/binary"
+
+	"amcast/internal/transport"
+)
+
+// Acceptor log records frame the vote an acceptor casts for an instance:
+//
+//	ballot(4) || EncodeBatch([{instance, value}])
+//
+// The instance is redundant with the log key but keeps records
+// self-describing for offline inspection and WAL replay.
+
+// encodeAccept builds the durable record for a vote.
+func encodeAccept(ballot uint32, instance uint64, v transport.Value) []byte {
+	batch := transport.EncodeBatch([]transport.InstanceValue{{Instance: instance, Value: v}})
+	buf := make([]byte, 4, 4+len(batch))
+	binary.LittleEndian.PutUint32(buf[:4], ballot)
+	return append(buf, batch...)
+}
+
+// decodeAccept parses a record written by encodeAccept.
+func decodeAccept(rec []byte) (ballot uint32, instance uint64, v transport.Value, err error) {
+	if len(rec) < 4 {
+		return 0, 0, transport.Value{}, transport.ErrShortMessage
+	}
+	ballot = binary.LittleEndian.Uint32(rec[:4])
+	batch, err := transport.DecodeBatch(rec[4:])
+	if err != nil {
+		return 0, 0, transport.Value{}, err
+	}
+	if len(batch) != 1 {
+		return 0, 0, transport.Value{}, transport.ErrShortMessage
+	}
+	return ballot, batch[0].Instance, batch[0].Value, nil
+}
+
+// promiseInstance is the reserved log key for the acceptor's highest
+// promised ballot (persisted so a recovering acceptor does not betray its
+// promises). Consensus instances start at 1, so key 0 is free.
+const promiseInstance = 0
+
+// encodePromise stores a promised ballot.
+func encodePromise(ballot uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], ballot)
+	return buf[:]
+}
+
+// decodePromise reads a promised ballot.
+func decodePromise(rec []byte) uint32 {
+	if len(rec) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(rec[:4])
+}

@@ -1,0 +1,288 @@
+// Package ring implements Ring Paxos: atomic broadcast over a
+// unidirectional ring overlay, as described in Section 4 of the paper and
+// originally in Marandi et al. (DSN 2012), in the TCP-only variant this
+// paper introduces (no IP-multicast).
+//
+// All processes of a ring — proposers, acceptors, learners — are arranged
+// in a logical ring. Consensus on a sequence of instances is reached with
+// an optimized Paxos:
+//
+//   - Phase 1 is pre-executed once per coordinator term for all instances.
+//   - A proposer sends its value to the coordinator (the first alive
+//     acceptor of the ring).
+//   - The coordinator assigns the value a consensus instance and forwards a
+//     combined Phase 2A/2B message — proposal plus its own vote — to its
+//     successor.
+//   - Each acceptor durably logs its vote *before* forwarding (required for
+//     recovery, Section 5.1) and increments the vote count; non-acceptors
+//     forward verbatim.
+//   - The acceptor whose vote completes a majority replaces the message
+//     with a Decision that circulates one full loop so every process
+//     learns the value and its decision.
+//
+// Skip values (rate leveling, Section 4) decide Count consecutive null
+// instances in a single consensus instance; learners deliver them as
+// Deliveries with Value.Skip set so Multi-Ring Paxos can advance its
+// deterministic merge.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amcast/internal/coord"
+	"amcast/internal/storage"
+	"amcast/internal/transport"
+)
+
+// Delivery is one decided consensus instance handed to the application (or
+// to the Multi-Ring Paxos merge layer) in instance order.
+type Delivery struct {
+	Ring     transport.RingID
+	Instance uint64
+	Value    transport.Value
+}
+
+// Config configures a ring node.
+type Config struct {
+	// Ring is the ring (multicast group) identifier.
+	Ring transport.RingID
+	// Self is this process's identifier.
+	Self transport.ProcessID
+	// Router delivers this process's incoming messages.
+	Router *transport.Router
+	// Coord is the coordination service holding the ring configuration.
+	Coord *coord.Service
+	// Log is the acceptor's stable vote log. Required for acceptors.
+	Log storage.Log
+
+	// Window bounds outstanding undecided instances at the coordinator.
+	Window int
+	// MaxPending bounds the coordinator's queued proposals.
+	MaxPending int
+	// RetryInterval is how often the coordinator re-proposes undecided
+	// instances and learners chase delivery gaps.
+	RetryInterval time.Duration
+	// DeliverBuffer is the capacity of the delivery channel.
+	DeliverBuffer int
+
+	// SkipEnabled turns on rate leveling (Section 4).
+	SkipEnabled bool
+	// Delta is the rate-leveling interval (paper: 5 ms LAN, 20 ms WAN).
+	Delta time.Duration
+	// Lambda is the maximum expected message rate per second (paper:
+	// 9000 LAN, 2000 WAN).
+	Lambda int
+
+	// TrimInterval enables coordinator-driven log trimming (Section 5.2).
+	// Zero disables it.
+	TrimInterval time.Duration
+
+	// BatchBytes enables message packing: the coordinator packs queued
+	// proposals into one consensus instance up to this many payload
+	// bytes (paper: 32 KB packets). Zero disables batching, as in the
+	// Figure 3 baseline.
+	BatchBytes int
+
+	// StartInstance makes the learner begin in-order delivery at this
+	// instance, skipping everything below. Replica recovery uses it to
+	// resume after an installed checkpoint (Section 5.2).
+	StartInstance uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Window == 0 {
+		out.Window = 256
+	}
+	if out.MaxPending == 0 {
+		out.MaxPending = 16384
+	}
+	if out.RetryInterval == 0 {
+		out.RetryInterval = 100 * time.Millisecond
+	}
+	if out.DeliverBuffer == 0 {
+		out.DeliverBuffer = 8192
+	}
+	if out.Delta == 0 {
+		out.Delta = 5 * time.Millisecond
+	}
+	if out.Lambda == 0 {
+		out.Lambda = 9000
+	}
+	return out
+}
+
+// Errors returned by Propose.
+var (
+	ErrNoCoordinator = errors.New("ring: no coordinator elected")
+	ErrOverloaded    = errors.New("ring: proposal queue full")
+	ErrStopped       = errors.New("ring: node stopped")
+)
+
+// flight tracks an instance proposed by this coordinator, for retries.
+type flight struct {
+	value    transport.Value
+	lastSent time.Time
+}
+
+// acceptedRec is the acceptor's volatile view of a vote (mirrored in Log).
+type acceptedRec struct {
+	ballot uint32
+	value  transport.Value
+}
+
+// Node is one process's participation in one ring. A process participates
+// in several rings by creating one Node per ring over a shared Router.
+type Node struct {
+	cfg  Config
+	id   transport.ProcessID
+	ring transport.RingID
+	tr   transport.Transport
+	in   <-chan transport.Message
+
+	watch       <-chan coord.RingConfig
+	cancelWatch func()
+
+	deliverCh chan Delivery
+
+	// mu guards rc (read by Propose from other goroutines).
+	mu sync.Mutex
+	rc coord.RingConfig
+
+	// Run-loop-owned state (accessed only by run()).
+	succ          transport.ProcessID
+	isCoord       bool
+	phase1Ready   bool
+	ballot        uint32
+	promised      uint32
+	nextInstance  uint64
+	pendingQ      []transport.Value
+	inFlight      map[uint64]*flight
+	proposedInWin int
+
+	learned     map[uint64]transport.Value
+	nextDeliver uint64
+	maxDecided  uint64
+	idleTicks   int // retry ticks since the learner last made progress
+
+	accepted map[uint64]acceptedRec
+
+	safeResps map[transport.ProcessID]uint64
+	lastTrim  uint64
+
+	// Counters for instrumentation (atomic; read by Stats).
+	decidedCount atomic.Uint64
+	skippedCount atomic.Uint64
+
+	proposeSeq atomic.Uint32
+
+	done     chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+}
+
+// New creates and starts a ring node. The ring must already exist in the
+// coordination service and Self must be one of its members.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	rc, ok := cfg.Coord.Ring(cfg.Ring)
+	if !ok {
+		return nil, fmt.Errorf("ring: ring %d not registered", cfg.Ring)
+	}
+	roles := rc.Roles(cfg.Self)
+	if roles == 0 {
+		return nil, fmt.Errorf("ring: process %d is not a member of ring %d", cfg.Self, cfg.Ring)
+	}
+	if roles.Has(coord.RoleAcceptor) && cfg.Log == nil {
+		return nil, fmt.Errorf("ring: acceptor %d needs a stable log", cfg.Self)
+	}
+	watch, cancel := cfg.Coord.Watch(cfg.Ring)
+	n := &Node{
+		rc:           rc,
+		cfg:          cfg,
+		id:           cfg.Self,
+		ring:         cfg.Ring,
+		tr:           cfg.Router.Transport(),
+		in:           cfg.Router.Ring(cfg.Ring),
+		watch:        watch,
+		cancelWatch:  cancel,
+		deliverCh:    make(chan Delivery, cfg.DeliverBuffer),
+		inFlight:     make(map[uint64]*flight),
+		learned:      make(map[uint64]transport.Value),
+		nextDeliver:  max(1, cfg.StartInstance),
+		nextInstance: 1,
+		accepted:     make(map[uint64]acceptedRec),
+		safeResps:    make(map[transport.ProcessID]uint64),
+		done:         make(chan struct{}),
+		loopDone:     make(chan struct{}),
+	}
+	// Recover durable acceptor state and apply the initial configuration
+	// before accepting traffic, so proposals arriving immediately after
+	// startup find the coordinator role already established.
+	n.recoverFromLog()
+	n.applyConfig(rc)
+	go n.run()
+	return n, nil
+}
+
+// Ring returns the ring identifier.
+func (n *Node) Ring() transport.RingID { return n.ring }
+
+// Deliveries returns the ordered stream of decided instances (including
+// skip markers). Closed when the node stops.
+func (n *Node) Deliveries() <-chan Delivery { return n.deliverCh }
+
+// Propose multicasts a value on this ring: the value is sent to the ring's
+// coordinator, which assigns it a consensus instance. Delivery is not
+// guaranteed (fair-lossy semantics); callers retry end-to-end.
+func (n *Node) Propose(data []byte) error {
+	select {
+	case <-n.done:
+		return ErrStopped
+	default:
+	}
+	v := transport.Value{
+		ID:    transport.MakeValueID(n.id, n.proposeSeq.Add(1)),
+		Count: 1,
+		Data:  data,
+	}
+	n.mu.Lock()
+	coordID := n.rc.Coordinator
+	n.mu.Unlock()
+	if coordID == 0 {
+		return ErrNoCoordinator
+	}
+	return n.tr.Send(coordID, transport.Message{
+		Kind:  transport.KindProposal,
+		Ring:  n.ring,
+		Value: v,
+	})
+}
+
+// Stats reports instance counters (decided includes skipped).
+func (n *Node) Stats() (decided, skipped uint64) {
+	return n.decidedCount.Load(), n.skippedCount.Load()
+}
+
+// Stop shuts down the node. Pending deliveries may be lost.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		n.cancelWatch()
+		close(n.done)
+		<-n.loopDone
+	})
+}
+
+// roles returns this process's roles under the current config.
+func (n *Node) roles() coord.Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rc.Roles(n.id)
+}
+
+func (n *Node) isAcceptor() bool { return n.roles().Has(coord.RoleAcceptor) }
+func (n *Node) isLearner() bool  { return n.roles().Has(coord.RoleLearner) }

@@ -1,0 +1,638 @@
+package ring
+
+import (
+	"time"
+
+	"amcast/internal/coord"
+	"amcast/internal/transport"
+)
+
+// run is the node's single event loop: it owns all protocol state, so no
+// handler needs locking beyond the rc snapshot shared with Propose.
+func (n *Node) run() {
+	defer close(n.loopDone)
+
+	// The retry ticker fires at a quarter of the retry interval so phase-1
+	// re-runs and gap probes react quickly after startup or elections; the
+	// re-proposal cutoff below still honours the full RetryInterval.
+	retry := time.NewTicker(n.cfg.RetryInterval / 4)
+	defer retry.Stop()
+
+	var skipC <-chan time.Time
+	if n.cfg.SkipEnabled {
+		t := time.NewTicker(n.cfg.Delta)
+		defer t.Stop()
+		skipC = t.C
+	}
+	var trimC <-chan time.Time
+	if n.cfg.TrimInterval > 0 {
+		t := time.NewTicker(n.cfg.TrimInterval)
+		defer t.Stop()
+		trimC = t.C
+	}
+
+	for {
+		select {
+		case <-n.done:
+			close(n.deliverCh)
+			return
+		case cfg, ok := <-n.watch:
+			if !ok {
+				close(n.deliverCh)
+				return
+			}
+			n.applyConfig(cfg)
+		case m, ok := <-n.in:
+			if !ok {
+				close(n.deliverCh)
+				return
+			}
+			n.handle(m)
+		case <-retry.C:
+			n.retryUndecided()
+			n.chaseGaps()
+		case <-skipC:
+			n.maybeSkip()
+		case <-trimC:
+			n.startTrimRound()
+		}
+	}
+}
+
+// recoverFromLog rebuilds volatile acceptor state from the stable log after
+// a restart (Section 5.1, acceptor recovery).
+func (n *Node) recoverFromLog() {
+	if n.cfg.Log == nil {
+		return
+	}
+	if rec, ok := n.cfg.Log.Get(promiseInstance); ok {
+		n.promised = decodePromise(rec)
+	}
+}
+
+// applyConfig reacts to a ring configuration change: new successor, and
+// possibly a coordinator handover to this process.
+func (n *Node) applyConfig(cfg coord.RingConfig) {
+	n.mu.Lock()
+	n.rc = cfg
+	n.mu.Unlock()
+
+	if succ, ok := cfg.Successor(n.id); ok {
+		n.succ = succ
+	} else {
+		n.succ = 0 // single-member ring (or everyone else down)
+	}
+	wasCoord := n.isCoord
+	n.isCoord = cfg.Coordinator == n.id && cfg.Roles(n.id).Has(coord.RoleAcceptor)
+	if n.isCoord && (!wasCoord || n.ballot < uint32(cfg.Version)) {
+		n.becomeCoordinator(uint32(cfg.Version))
+	}
+	if !n.isCoord {
+		n.phase1Ready = false
+	}
+}
+
+// becomeCoordinator starts a coordinator term: it pre-executes Phase 1 for
+// all instances above the node's decision watermark with a term-unique
+// ballot (the ring config version, which only grows).
+func (n *Node) becomeCoordinator(ballot uint32) {
+	n.ballot = ballot
+	n.phase1Ready = false
+	n.proposedInWin = 0
+	// Restart instance assignment above everything this process knows to
+	// be decided; Phase 1B reports may push it further.
+	if n.nextInstance < n.maxDecided+1 {
+		n.nextInstance = n.maxDecided + 1
+	}
+	m := transport.Message{
+		Kind:     transport.KindPhase1A,
+		Ring:     n.ring,
+		Ballot:   ballot,
+		Instance: n.nextDeliver, // report accepted values from here up
+	}
+	// Vote for our own Phase 1A (the coordinator is an acceptor).
+	n.acceptPhase1(&m)
+	if n.succ == 0 {
+		// Single-member ring: phase 1 trivially complete.
+		n.completePhase1(m)
+		return
+	}
+	n.send(n.succ, m)
+}
+
+// handle dispatches one protocol message.
+func (n *Node) handle(m transport.Message) {
+	switch m.Kind {
+	case transport.KindProposal:
+		n.handleProposal(m)
+	case transport.KindPhase1A:
+		n.handlePhase1A(m)
+	case transport.KindPhase2:
+		n.handlePhase2(m)
+	case transport.KindDecision:
+		n.handleDecision(m)
+	case transport.KindRetransmitReq:
+		n.handleRetransmitReq(m)
+	case transport.KindRetransmitResp:
+		n.handleRetransmitResp(m)
+	case transport.KindSafeResp:
+		n.handleSafeResp(m)
+	case transport.KindTrim:
+		n.handleTrim(m)
+	}
+}
+
+// handleProposal enqueues a value at the coordinator or forwards it there.
+func (n *Node) handleProposal(m transport.Message) {
+	if !n.isCoord {
+		n.mu.Lock()
+		coordID := n.rc.Coordinator
+		n.mu.Unlock()
+		if coordID != 0 && coordID != n.id {
+			n.send(coordID, m)
+		}
+		return
+	}
+	if len(n.pendingQ) >= n.cfg.MaxPending {
+		return // shed load; clients retry end-to-end
+	}
+	n.pendingQ = append(n.pendingQ, m.Value)
+	n.tryPropose()
+}
+
+// tryPropose assigns queued proposals to consensus instances while the
+// pipeline window has room, packing several proposals into one instance
+// when batching is enabled (message packing, Section 4).
+func (n *Node) tryPropose() {
+	if !n.isCoord || !n.phase1Ready {
+		return
+	}
+	for len(n.pendingQ) > 0 && len(n.inFlight) < n.cfg.Window {
+		v := n.pendingQ[0]
+		n.pendingQ = n.pendingQ[1:]
+		if n.cfg.BatchBytes > 0 && len(n.pendingQ) > 0 && !v.Skip {
+			v = n.packBatch(v)
+		}
+		n.proposeValue(v)
+	}
+}
+
+// packBatch greedily packs queued proposals behind head into one batched
+// value of at most BatchBytes payload bytes.
+func (n *Node) packBatch(head transport.Value) transport.Value {
+	batch := []transport.InstanceValue{{Value: head}}
+	size := len(head.Data)
+	for len(n.pendingQ) > 0 && size < n.cfg.BatchBytes {
+		next := n.pendingQ[0]
+		if next.Skip || size+len(next.Data) > n.cfg.BatchBytes {
+			break
+		}
+		n.pendingQ = n.pendingQ[1:]
+		batch = append(batch, transport.InstanceValue{Value: next})
+		size += len(next.Data)
+	}
+	if len(batch) == 1 {
+		return head
+	}
+	return transport.Value{
+		ID:      head.ID,
+		Batched: true,
+		Count:   1,
+		Data:    transport.EncodeBatch(batch),
+	}
+}
+
+// proposeValue runs Phase 2 for one value: the coordinator logs its own
+// vote and forwards the combined 2A/2B message.
+func (n *Node) proposeValue(v transport.Value) {
+	inst := n.nextInstance
+	n.nextInstance += v.Span()
+	if !v.Skip {
+		n.proposedInWin++
+	}
+	n.inFlight[inst] = &flight{value: v, lastSent: time.Now()}
+	n.sendPhase2(inst, v)
+}
+
+// sendPhase2 logs the coordinator's vote (before sending, as recovery
+// requires) and emits the Phase 2A/2B message.
+func (n *Node) sendPhase2(inst uint64, v transport.Value) {
+	// Durable vote first (Section 5.1).
+	_ = n.cfg.Log.Put(inst, encodeAccept(n.ballot, inst, v))
+	n.accepted[inst] = acceptedRec{ballot: n.ballot, value: v}
+	m := transport.Message{
+		Kind:     transport.KindPhase2,
+		Ring:     n.ring,
+		Ballot:   n.ballot,
+		Instance: inst,
+		Votes:    1,
+		Value:    v,
+	}
+	n.mu.Lock()
+	majority := n.rc.Majority()
+	n.mu.Unlock()
+	if int(m.Votes) >= majority || n.succ == 0 {
+		// Single-acceptor ring: decided immediately.
+		n.decide(inst, v, n.id)
+		return
+	}
+	n.send(n.succ, m)
+}
+
+// acceptPhase1 applies a Phase 1A message at an acceptor: promise the
+// ballot (durably), vote, and attach this acceptor's accepted values so a
+// new coordinator can re-propose possibly-chosen values.
+func (n *Node) acceptPhase1(m *transport.Message) {
+	if !n.isAcceptor() {
+		return
+	}
+	if m.Ballot < n.promised {
+		return // no vote for stale ballots
+	}
+	if m.Ballot > n.promised {
+		n.promised = m.Ballot
+		_ = n.cfg.Log.Put(promiseInstance, encodePromise(n.promised))
+	}
+	m.Votes++
+	// Report accepted values at or above the scan point.
+	var report []transport.InstanceValue
+	for inst, rec := range n.accepted {
+		if inst >= m.Instance {
+			report = append(report, transport.InstanceValue{Instance: inst, Value: rec.value})
+		}
+	}
+	if len(report) > 0 {
+		existing, err := transport.DecodeBatch(m.Payload)
+		if err != nil {
+			existing = nil
+		}
+		m.Payload = transport.EncodeBatch(append(existing, report...))
+	}
+}
+
+// handlePhase1A processes a circulating Phase 1A: the originating
+// coordinator completes Phase 1 when the message returns with a majority;
+// other acceptors vote and forward.
+func (n *Node) handlePhase1A(m transport.Message) {
+	if n.isCoord && m.Ballot == n.ballot {
+		n.completePhase1(m)
+		return
+	}
+	n.acceptPhase1(&m)
+	if n.succ != 0 {
+		n.send(n.succ, m)
+	}
+}
+
+// completePhase1 finishes the coordinator's Phase 1: with a majority of
+// promises it re-proposes every reported accepted value (they may have been
+// chosen) and opens the pipeline.
+func (n *Node) completePhase1(m transport.Message) {
+	n.mu.Lock()
+	majority := n.rc.Majority()
+	n.mu.Unlock()
+	if int(m.Votes) < majority {
+		// Election failed (stale promises elsewhere); retry with the
+		// next config version or by re-running phase 1 on retry tick.
+		n.phase1Ready = false
+		return
+	}
+	reported, err := transport.DecodeBatch(m.Payload)
+	if err == nil {
+		// Re-propose reported values at the new ballot, highest
+		// instance first to fix nextInstance.
+		for _, iv := range reported {
+			if iv.Instance+iv.Value.Span() > n.nextInstance {
+				n.nextInstance = iv.Instance + iv.Value.Span()
+			}
+		}
+		for _, iv := range reported {
+			if iv.Instance < n.nextDeliver {
+				continue // already decided and delivered
+			}
+			if _, busy := n.inFlight[iv.Instance]; busy {
+				continue
+			}
+			n.inFlight[iv.Instance] = &flight{value: iv.Value, lastSent: time.Now()}
+			n.sendPhase2(iv.Instance, iv.Value)
+		}
+	}
+	n.phase1Ready = true
+	n.tryPropose()
+}
+
+// handlePhase2 is the acceptor/forwarder path for combined Phase 2A/2B.
+func (n *Node) handlePhase2(m transport.Message) {
+	if !n.isAcceptor() {
+		if n.succ != 0 {
+			n.send(n.succ, m)
+		}
+		return
+	}
+	if m.Ballot < n.promised {
+		return // stale coordinator; drop so it cannot gather a majority
+	}
+	if m.Ballot > n.promised {
+		n.promised = m.Ballot
+		_ = n.cfg.Log.Put(promiseInstance, encodePromise(n.promised))
+	}
+	// Log the vote before forwarding (Section 5.1).
+	_ = n.cfg.Log.Put(m.Instance, encodeAccept(m.Ballot, m.Instance, m.Value))
+	n.accepted[m.Instance] = acceptedRec{ballot: m.Ballot, value: m.Value}
+	m.Votes++
+	n.mu.Lock()
+	majority := n.rc.Majority()
+	n.mu.Unlock()
+	if int(m.Votes) >= majority {
+		n.decide(m.Instance, m.Value, n.id)
+		return
+	}
+	if n.succ != 0 {
+		n.send(n.succ, m)
+	}
+}
+
+// decide converts an instance into a Decision originating at this process
+// and applies it locally.
+func (n *Node) decide(inst uint64, v transport.Value, origin transport.ProcessID) {
+	n.learnDecision(inst, v)
+	if n.succ != 0 {
+		n.send(n.succ, transport.Message{
+			Kind:     transport.KindDecision,
+			Ring:     n.ring,
+			Instance: inst,
+			Value:    v,
+			Seq:      uint64(origin),
+		})
+	}
+}
+
+// handleDecision applies a circulating Decision and forwards it until the
+// loop closes at its origin.
+func (n *Node) handleDecision(m transport.Message) {
+	n.learnDecision(m.Instance, m.Value)
+	origin := transport.ProcessID(m.Seq)
+	if n.succ != 0 && n.succ != origin {
+		n.send(n.succ, m)
+	}
+}
+
+// learnDecision records a decided instance and advances in-order delivery.
+func (n *Node) learnDecision(inst uint64, v transport.Value) {
+	if inst < n.nextDeliver {
+		n.coordObserveDecided(inst)
+		return // duplicate (retransmission or second loop)
+	}
+	if _, ok := n.learned[inst]; ok {
+		return
+	}
+	n.idleTicks = 0
+	n.learned[inst] = v
+	if end := inst + v.Span() - 1; end > n.maxDecided {
+		n.maxDecided = end
+	}
+	n.coordObserveDecided(inst)
+	for {
+		val, ok := n.learned[n.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(n.learned, n.nextDeliver)
+		d := Delivery{Ring: n.ring, Instance: n.nextDeliver, Value: val}
+		n.decidedCount.Add(1)
+		if val.Skip {
+			n.skippedCount.Add(uint64(val.Span()))
+		}
+		if n.isLearner() {
+			select {
+			case n.deliverCh <- d:
+			case <-n.done:
+				return
+			}
+		}
+		n.nextDeliver += val.Span()
+	}
+}
+
+// coordObserveDecided releases the pipeline slot for a decided instance.
+func (n *Node) coordObserveDecided(inst uint64) {
+	if _, ok := n.inFlight[inst]; ok {
+		delete(n.inFlight, inst)
+		n.tryPropose()
+	}
+}
+
+// retryUndecided re-proposes instances whose decision is overdue (lost
+// messages, successor change mid-flight).
+func (n *Node) retryUndecided() {
+	if !n.isCoord {
+		return
+	}
+	if !n.phase1Ready {
+		// Phase 1 may have been lost in a reconfiguration; re-run it.
+		n.becomeCoordinator(n.ballot)
+		return
+	}
+	cutoff := time.Now().Add(-n.cfg.RetryInterval)
+	for inst, f := range n.inFlight {
+		if inst < n.nextDeliver {
+			delete(n.inFlight, inst)
+			continue
+		}
+		if f.lastSent.Before(cutoff) {
+			f.lastSent = time.Now()
+			n.sendPhase2(inst, f.value)
+		}
+	}
+	n.tryPropose()
+}
+
+// chaseGaps requests retransmission of decided-but-missed instances so a
+// learner's in-order delivery never stalls behind a lost Decision. When a
+// learner has heard nothing for a few ticks (e.g. it just recovered and the
+// ring is quiet), it probes an acceptor blindly: the acceptor returns any
+// decided instances at or above our cursor, revealing what we missed.
+func (n *Node) chaseGaps() {
+	gap := n.nextDeliver <= n.maxDecided
+	if gap {
+		if _, ok := n.learned[n.nextDeliver]; ok {
+			return
+		}
+	} else {
+		if !n.isLearner() {
+			return
+		}
+		n.idleTicks++
+		if n.idleTicks < 3 {
+			return
+		}
+		n.idleTicks = 0
+	}
+	n.mu.Lock()
+	var target transport.ProcessID
+	for _, a := range n.rc.AliveAcceptors() {
+		if a != n.id {
+			target = a
+			break
+		}
+	}
+	n.mu.Unlock()
+	if target == 0 {
+		return
+	}
+	count := uint32(512)
+	if gap {
+		if c := n.maxDecided - n.nextDeliver + 1; c < 512 {
+			count = uint32(c)
+		}
+	}
+	n.send(target, transport.Message{
+		Kind:     transport.KindRetransmitReq,
+		Ring:     n.ring,
+		Instance: n.nextDeliver,
+		Count:    count,
+	})
+}
+
+// handleRetransmitReq serves decided values from the acceptor log. Only
+// instances below the acceptor's own contiguous decision watermark are
+// served: those are stable and their accepted value equals the decision.
+func (n *Node) handleRetransmitReq(m transport.Message) {
+	if !n.isAcceptor() {
+		return
+	}
+	var batch []transport.InstanceValue
+	end := m.Instance + uint64(m.Count)
+	for inst := m.Instance; inst < end && inst < n.nextDeliver; inst++ {
+		if rec, ok := n.accepted[inst]; ok {
+			batch = append(batch, transport.InstanceValue{Instance: inst, Value: rec.value})
+			inst += rec.value.Span() - 1
+			continue
+		}
+		if rec, ok := n.cfg.Log.Get(inst); ok {
+			if _, rinst, v, err := decodeAccept(rec); err == nil && rinst == inst {
+				batch = append(batch, transport.InstanceValue{Instance: inst, Value: v})
+				inst += v.Span() - 1
+			}
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+	n.send(m.From, transport.Message{
+		Kind:    transport.KindRetransmitResp,
+		Ring:    n.ring,
+		Payload: transport.EncodeBatch(batch),
+	})
+}
+
+// handleRetransmitResp applies retransmitted decisions.
+func (n *Node) handleRetransmitResp(m transport.Message) {
+	batch, err := transport.DecodeBatch(m.Payload)
+	if err != nil {
+		return
+	}
+	for _, iv := range batch {
+		n.learnDecision(iv.Instance, iv.Value)
+	}
+}
+
+// maybeSkip implements rate leveling: if the coordinator proposed fewer
+// values than λ·Δ in the last window, it proposes one skip value covering
+// the shortfall so learners merging this ring do not stall (Section 4).
+func (n *Node) maybeSkip() {
+	if !n.isCoord || !n.phase1Ready {
+		return
+	}
+	target := int(float64(n.cfg.Lambda) * n.cfg.Delta.Seconds())
+	if target < 1 {
+		target = 1
+	}
+	deficit := target - n.proposedInWin
+	n.proposedInWin = 0
+	if deficit <= 0 {
+		return
+	}
+	if len(n.inFlight) >= n.cfg.Window {
+		return // pipeline saturated; ring is anything but idle
+	}
+	n.proposeValue(transport.Value{
+		ID:    transport.MakeValueID(n.id, n.proposeSeq.Add(1)),
+		Skip:  true,
+		Count: uint32(deficit),
+	})
+}
+
+// startTrimRound begins a trim round (Section 5.2): the coordinator asks
+// every learner (replica) for its safe instance k[x]p.
+func (n *Node) startTrimRound() {
+	if !n.isCoord {
+		return
+	}
+	n.safeResps = make(map[transport.ProcessID]uint64)
+	n.mu.Lock()
+	learners := n.rc.Learners()
+	n.mu.Unlock()
+	for _, l := range learners {
+		n.send(l, transport.Message{Kind: transport.KindSafeReq, Ring: n.ring})
+	}
+}
+
+// handleSafeResp collects replicas' safe instances; with a quorum Q_T it
+// trims at the minimum (Predicate 2: K[x]_T <= k[x]_p for all p in Q_T).
+func (n *Node) handleSafeResp(m transport.Message) {
+	if !n.isCoord {
+		return
+	}
+	n.safeResps[m.From] = m.Instance
+	n.mu.Lock()
+	learners := n.rc.Learners()
+	acceptors := n.rc.Acceptors()
+	n.mu.Unlock()
+	quorum := len(learners)/2 + 1
+	if len(n.safeResps) < quorum {
+		return
+	}
+	min := uint64(0)
+	first := true
+	for _, k := range n.safeResps {
+		if first || k < min {
+			min = k
+			first = false
+		}
+	}
+	if min <= n.lastTrim || min == 0 {
+		return
+	}
+	n.lastTrim = min
+	for _, a := range acceptors {
+		if a == n.id {
+			n.applyTrim(min)
+			continue
+		}
+		n.send(a, transport.Message{Kind: transport.KindTrim, Ring: n.ring, Instance: min})
+	}
+}
+
+// handleTrim applies a trim instruction at an acceptor.
+func (n *Node) handleTrim(m transport.Message) {
+	if !n.isAcceptor() {
+		return
+	}
+	n.applyTrim(m.Instance)
+}
+
+func (n *Node) applyTrim(upTo uint64) {
+	_ = n.cfg.Log.Trim(upTo)
+	for inst := range n.accepted {
+		if inst <= upTo {
+			delete(n.accepted, inst)
+		}
+	}
+}
+
+// send transmits a message on this ring, stamping the ring id.
+func (n *Node) send(to transport.ProcessID, m transport.Message) {
+	m.Ring = n.ring
+	_ = n.tr.Send(to, m)
+}

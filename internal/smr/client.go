@@ -1,0 +1,223 @@
+package smr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amcast/internal/core"
+	"amcast/internal/transport"
+)
+
+// Client submits commands to replicated services over atomic multicast and
+// matches replica responses, mirroring the paper's client behaviour
+// (Section 7.2): multicast the command to the owning group, wait for the
+// first response from a replica — or, for multi-partition operations, for
+// at least one response from every involved partition. Responses travel
+// outside the multicast layer (the paper uses UDP; here, the transport).
+type Client struct {
+	id   transport.ProcessID
+	node *core.Node
+	tr   transport.Transport
+
+	mu      sync.Mutex
+	waiters map[uint64]*waiter
+	closed  bool
+
+	seq atomic.Uint64
+
+	done     chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+}
+
+type waiter struct {
+	need   int
+	accept map[transport.RingID]bool // nil accepts any distinct partition
+	seen   map[transport.RingID]bool
+	resps  [][]byte
+	ch     chan [][]byte
+}
+
+// match classifies a response by its delivery group and partition tag and
+// returns the dedup key, or ok=false if the response is not counted (e.g.
+// a non-target partition answering a global-group scan).
+func (w *waiter) match(deliveryGroup, partition transport.RingID) (transport.RingID, bool) {
+	if w.accept == nil {
+		return partition, true
+	}
+	if w.accept[deliveryGroup] {
+		return deliveryGroup, true
+	}
+	if w.accept[partition] {
+		return partition, true
+	}
+	return 0, false
+}
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Self is the client's process id (responses are addressed to it).
+	Self transport.ProcessID
+	// Node is a Multi-Ring Paxos endpoint used to multicast commands.
+	// A pure client node (member of no ring) suffices.
+	Node *core.Node
+	// Transport receives responses (via Service) and is kept for
+	// symmetry with Replica.
+	Transport transport.Transport
+	// Service is the process's non-consensus message channel.
+	Service <-chan transport.Message
+}
+
+// NewClient starts a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Node == nil || cfg.Service == nil {
+		return nil, errors.New("smr: Node and Service are required")
+	}
+	c := &Client{
+		id:       cfg.Self,
+		node:     cfg.Node,
+		tr:       cfg.Transport,
+		waiters:  make(map[uint64]*waiter),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go c.respLoop(cfg.Service)
+	return c, nil
+}
+
+// ErrTimeout reports that a command did not gather its responses in time.
+var ErrTimeout = errors.New("smr: command timed out")
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("smr: client closed")
+
+// Submit multicasts op to each group in groups (one command per group,
+// same sequence number) and waits until `need` matching responses arrive,
+// retrying the multicast on timeout.
+//
+// accept filters which responses count: a response matches if its delivery
+// group or its partition tag is in accept (nil accepts any, deduplicated by
+// partition). need <= 0 defaults to len(accept), or 1 when accept is nil.
+//
+// Recipes: single-partition command → groups=[g], accept=[g]. Scan via a
+// global group → groups=[global], accept=target partitions. Scan over
+// independent rings → groups=targets, accept=targets. Multi-append where
+// the client cannot name partitions → accept=nil, need=partition count.
+func (c *Client) Submit(groups []transport.RingID, op []byte, accept []transport.RingID, need int, timeout time.Duration) ([][]byte, error) {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	if need <= 0 {
+		if len(accept) > 0 {
+			need = len(accept)
+		} else {
+			need = 1
+		}
+	}
+	seq := c.seq.Add(1)
+	w := &waiter{
+		need: need,
+		seen: make(map[transport.RingID]bool),
+		ch:   make(chan [][]byte, 1),
+	}
+	if accept != nil {
+		w.accept = make(map[transport.RingID]bool, len(accept))
+		for _, g := range accept {
+			w.accept[g] = true
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.waiters[seq] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, seq)
+		c.mu.Unlock()
+	}()
+
+	cmd := Command{Client: c.id, Seq: seq, Op: op}
+	payload := cmd.Encode()
+	send := func() error {
+		for _, g := range groups {
+			if err := c.node.Multicast(g, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := send(); err != nil {
+		return nil, err
+	}
+
+	overall := time.After(timeout)
+	retry := time.NewTicker(timeout / 4)
+	defer retry.Stop()
+	for {
+		select {
+		case resps := <-w.ch:
+			return resps, nil
+		case <-retry.C:
+			// Lost command or response: retransmit (replicas
+			// suppress duplicates).
+			if err := send(); err != nil {
+				return nil, err
+			}
+		case <-overall:
+			return nil, ErrTimeout
+		case <-c.done:
+			return nil, ErrClientClosed
+		}
+	}
+}
+
+// respLoop matches replica responses to waiting submissions.
+func (c *Client) respLoop(service <-chan transport.Message) {
+	defer close(c.loopDone)
+	for {
+		select {
+		case <-c.done:
+			return
+		case m, ok := <-service:
+			if !ok {
+				return
+			}
+			if m.Kind != transport.KindResponse {
+				continue
+			}
+			c.mu.Lock()
+			w := c.waiters[m.Seq]
+			if w != nil {
+				key, ok := w.match(m.Ring, transport.RingID(m.Count))
+				if ok && !w.seen[key] {
+					w.seen[key] = true
+					resp := append([]byte(nil), m.Payload...)
+					w.resps = append(w.resps, resp)
+					if len(w.seen) >= w.need {
+						select {
+						case w.ch <- w.resps:
+						default:
+						}
+					}
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the client; in-flight Submits return ErrClientClosed.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		close(c.done)
+		<-c.loopDone
+	})
+}

@@ -1,0 +1,49 @@
+// Package smr provides state-machine replication on top of Multi-Ring
+// Paxos (Section 6: both MRP-Store and dLog "use state-machine replication
+// implemented with Multi-Ring Paxos").
+//
+// Clients wrap operations in commands (client id, sequence number,
+// opaque operation), multicast them to the group owning the data, and wait
+// for the first replica response (Section 7.2). Replicas deliver commands
+// in merged order, execute them against a StateMachine, reply directly to
+// the client, and periodically checkpoint — integrating with the trim
+// protocol of Section 5.2.
+package smr
+
+import (
+	"encoding/binary"
+
+	"amcast/internal/transport"
+)
+
+// Command is a client request replicated through atomic multicast.
+type Command struct {
+	// Client is the submitting process.
+	Client transport.ProcessID
+	// Seq is the client-local sequence number, used for response
+	// matching and duplicate suppression.
+	Seq uint64
+	// Op is the service-specific operation payload.
+	Op []byte
+}
+
+// Encode serializes the command.
+func (c Command) Encode() []byte {
+	buf := make([]byte, 12+len(c.Op))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(c.Client))
+	binary.LittleEndian.PutUint64(buf[4:12], c.Seq)
+	copy(buf[12:], c.Op)
+	return buf
+}
+
+// DecodeCommand parses Encode output. The Op slice aliases buf.
+func DecodeCommand(buf []byte) (Command, error) {
+	if len(buf) < 12 {
+		return Command{}, transport.ErrShortMessage
+	}
+	return Command{
+		Client: transport.ProcessID(binary.LittleEndian.Uint32(buf[:4])),
+		Seq:    binary.LittleEndian.Uint64(buf[4:12]),
+		Op:     buf[12:],
+	}, nil
+}

@@ -1,0 +1,528 @@
+package smr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amcast/internal/core"
+	"amcast/internal/recovery"
+	"amcast/internal/transport"
+)
+
+// StateMachine is the deterministic service a Replica replicates.
+// Execute, Snapshot and Restore are always invoked from a single
+// goroutine.
+type StateMachine interface {
+	// Execute applies one operation and returns the response sent back
+	// to the client.
+	Execute(group transport.RingID, op []byte) []byte
+	// Snapshot serializes the complete state.
+	Snapshot() []byte
+	// Restore replaces the state with a snapshot.
+	Restore(snapshot []byte) error
+}
+
+// ReplicaConfig configures a replica process.
+type ReplicaConfig struct {
+	// Self is this replica's process id.
+	Self transport.ProcessID
+	// Partition identifies the replica's partition. By convention it is
+	// the partition's own ring id; it tags responses so clients can
+	// count distinct partitions on multi-partition operations.
+	Partition transport.RingID
+	// Groups is the subscription: the partition's ring(s) plus any
+	// global ring. Replicas subscribing to the same set form a
+	// partition in the sense of Section 5.2.
+	Groups []transport.RingID
+	// Peers are the other replicas of the same partition, used for
+	// remote checkpoints during recovery.
+	Peers []transport.ProcessID
+
+	// Node is the Multi-Ring Paxos endpoint (not yet subscribed; the
+	// replica subscribes after recovery so StartVector can be applied).
+	// Build it with BuildNode, which handles recovery.
+	Node *core.Node
+	// Transport sends client responses and recovery RPC replies.
+	Transport transport.Transport
+	// Service is the non-consensus message channel of this process's
+	// router.
+	Service <-chan transport.Message
+	// SM is the replicated state machine.
+	SM StateMachine
+	// Checkpoints persists checkpoints (required when CheckpointEvery
+	// or trim is used).
+	Checkpoints recovery.Store
+	// CheckpointEvery takes a checkpoint after this many commands.
+	// Zero disables periodic checkpoints.
+	CheckpointEvery int
+}
+
+// Replica drives a replicated state machine: it subscribes to the
+// partition's groups, executes delivered commands, responds to clients,
+// checkpoints, answers the trim protocol and serves recovery RPCs.
+type Replica struct {
+	cfg ReplicaConfig
+	tr  transport.Transport
+
+	mu        sync.Mutex
+	dedup     map[transport.ProcessID]*clientWindow // duplicate suppression
+	safeVec   recovery.Vector                       // vector of the last durable checkpoint
+	executed  uint64
+	sinceCkpt int
+
+	executedTotal atomic.Uint64
+	checkpoints   atomic.Uint64
+
+	done     chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+}
+
+// BuildNodeResult carries what BuildNode recovered.
+type BuildNodeResult struct {
+	// Node is ready to Join/Subscribe with recovery applied.
+	Node *core.Node
+	// Checkpoint is the state snapshot to restore (nil state if none).
+	Checkpoint recovery.Checkpoint
+	// Remote reports whether the checkpoint came from a peer.
+	Remote bool
+}
+
+// RecoveryOptions parameterizes BuildNode.
+type RecoveryOptions struct {
+	// Self, Router, Coord, NewLog, M, Ring: as core.Config.
+	Core core.Config
+	// Store is the local checkpoint store.
+	Store recovery.Store
+	// Peers are partition peers to query for newer checkpoints.
+	Peers []transport.ProcessID
+	// Service is the process's service channel (consumed during
+	// recovery only; hand it to the Replica afterwards).
+	Service <-chan transport.Message
+	// Timeout bounds waiting for peer checkpoint responses.
+	Timeout time.Duration
+}
+
+// BuildNode performs replica recovery per Section 5.2 and returns a
+// configured (but not yet joined/subscribed) core.Node:
+//
+//  1. Load the latest local checkpoint.
+//  2. Ask partition peers for their checkpoint tuples and wait for a
+//     recovery quorum Q_R (majority of the partition, counting self).
+//  3. Select the most up-to-date checkpoint (Predicate 3); if remote,
+//     fetch its snapshot.
+//  4. Configure the node's StartVector/StartCursor from it.
+//
+// On a fresh partition (no checkpoints anywhere) it returns a clean node.
+func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
+	if opts.Timeout == 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	var local recovery.Checkpoint
+	if opts.Store != nil {
+		if cp, ok := opts.Store.Latest(); ok {
+			local = cp
+		}
+	}
+	best := local
+	bestPeer := transport.ProcessID(0)
+
+	tr := opts.Core.Router.Transport()
+	if len(opts.Peers) > 0 && opts.Service != nil {
+		quorum := (len(opts.Peers)+1)/2 + 1 // majority incl. self
+		reqSeq := uint64(time.Now().UnixNano())
+		for _, p := range opts.Peers {
+			_ = tr.Send(p, transport.Message{Kind: transport.KindCheckpointReq, Seq: reqSeq})
+		}
+		got := 1 // self
+		deadline := time.After(opts.Timeout)
+	collect:
+		for got < quorum {
+			select {
+			case m, ok := <-opts.Service:
+				if !ok {
+					break collect
+				}
+				if m.Kind != transport.KindCheckpointResp || m.Seq != reqSeq {
+					continue // stale traffic during recovery
+				}
+				vec, _, err := recovery.DecodeVector(m.Payload)
+				if err != nil {
+					continue
+				}
+				got++
+				if recovery.Compare(vec, best.Vector) > 0 {
+					best = recovery.Checkpoint{Vector: vec}
+					bestPeer = m.From
+				}
+			case <-deadline:
+				break collect
+			}
+		}
+		// Fetch the remote snapshot if a peer is ahead of us.
+		if bestPeer != 0 {
+			_ = tr.Send(bestPeer, transport.Message{Kind: transport.KindSnapshotReq, Seq: reqSeq})
+			deadline := time.After(opts.Timeout)
+		fetch:
+			for {
+				select {
+				case m, ok := <-opts.Service:
+					if !ok {
+						break fetch
+					}
+					if m.Kind != transport.KindSnapshotResp || m.Seq != reqSeq {
+						continue
+					}
+					cp, err := recovery.DecodeCheckpoint(m.Payload)
+					if err != nil {
+						break fetch
+					}
+					best = cp
+					break fetch
+				case <-deadline:
+					// Fall back to the local checkpoint; the
+					// acceptors still have the gap (Predicate 5).
+					best = local
+					break fetch
+				}
+			}
+		}
+	}
+
+	cfg := opts.Core
+	if len(best.Vector) > 0 {
+		cfg.StartVector = best.Vector
+		if cur, err := decodeStateCursor(best.State); err == nil {
+			cfg.StartCursor = cur
+		}
+	}
+	node, err := core.New(cfg)
+	if err != nil {
+		return BuildNodeResult{}, err
+	}
+	return BuildNodeResult{Node: node, Checkpoint: best, Remote: bestPeer != 0 && len(best.State) > 0}, nil
+}
+
+// Checkpoint state layout: cursorLen(4) || cursor || dedupLen(4) || dedup ||
+// snapshot. The cursor rides inside the checkpoint so recovery resumes the
+// deterministic merge at the exact position; dedup state rides along so
+// duplicate suppression survives restarts.
+func encodeStateParts(cur core.Cursor, dedup []byte, snap []byte) []byte {
+	cb := cur.Encode()
+	buf := make([]byte, 0, 8+len(cb)+len(dedup)+len(snap))
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(cb)))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, cb...)
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(dedup)))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, dedup...)
+	return append(buf, snap...)
+}
+
+func decodeStateParts(state []byte) (core.Cursor, []byte, []byte, error) {
+	if len(state) < 4 {
+		return core.Cursor{}, nil, nil, recovery.ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(state[:4]))
+	state = state[4:]
+	if len(state) < n+4 {
+		return core.Cursor{}, nil, nil, recovery.ErrCorrupt
+	}
+	cur, err := core.DecodeCursor(state[:n])
+	if err != nil {
+		return core.Cursor{}, nil, nil, err
+	}
+	state = state[n:]
+	dn := int(binary.LittleEndian.Uint32(state[:4]))
+	state = state[4:]
+	if len(state) < dn {
+		return core.Cursor{}, nil, nil, recovery.ErrCorrupt
+	}
+	return cur, state[:dn], state[dn:], nil
+}
+
+func decodeStateCursor(state []byte) (core.Cursor, error) {
+	cur, _, _, err := decodeStateParts(state)
+	return cur, err
+}
+
+// clientWindow tracks which of one client's command sequence numbers were
+// already executed. Commands from a single client can arrive out of order
+// across groups (different rings interleave), so a plain high-water mark is
+// not enough: floor covers the contiguous executed prefix and resp holds
+// out-of-order executed seqs with their cached responses for duplicate
+// re-replies.
+type clientWindow struct {
+	floor uint64
+	resp  map[uint64][]byte
+}
+
+// maxWindowEntries bounds per-client memory; beyond it, responses for
+// floor-covered seqs are dropped (dup detection via floor still works).
+const maxWindowEntries = 2048
+
+func newClientWindow(floor uint64) *clientWindow {
+	return &clientWindow{floor: floor, resp: make(map[uint64][]byte)}
+}
+
+// check reports whether seq was executed; if it was, the cached response
+// (possibly nil if pruned) is returned.
+func (w *clientWindow) check(seq uint64) (dup bool, resp []byte) {
+	if seq <= w.floor {
+		return true, w.resp[seq]
+	}
+	r, ok := w.resp[seq]
+	return ok, r
+}
+
+// record marks seq executed with its response and advances the floor over
+// any now-contiguous prefix.
+func (w *clientWindow) record(seq uint64, resp []byte) {
+	w.resp[seq] = resp
+	for {
+		if _, ok := w.resp[w.floor+1]; !ok {
+			break
+		}
+		w.floor++
+	}
+	if len(w.resp) > maxWindowEntries {
+		for s := range w.resp {
+			if s <= w.floor {
+				delete(w.resp, s)
+			}
+		}
+	}
+}
+
+func encodeDedup(dedup map[transport.ProcessID]*clientWindow) []byte {
+	buf := make([]byte, 4, 4+12*len(dedup))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(dedup)))
+	var tmp [8]byte
+	for c, w := range dedup {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(c))
+		buf = append(buf, tmp[:4]...)
+		binary.LittleEndian.PutUint64(tmp[:8], w.floor)
+		buf = append(buf, tmp[:8]...)
+	}
+	return buf
+}
+
+func decodeDedup(buf []byte) map[transport.ProcessID]*clientWindow {
+	out := make(map[transport.ProcessID]*clientWindow)
+	if len(buf) < 4 {
+		return out
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	buf = buf[4:]
+	for i := 0; i < n && len(buf) >= 12; i++ {
+		c := transport.ProcessID(binary.LittleEndian.Uint32(buf[:4]))
+		out[c] = newClientWindow(binary.LittleEndian.Uint64(buf[4:12]))
+		buf = buf[12:]
+	}
+	return out
+}
+
+// NewReplica starts a replica: it restores the recovered checkpoint into
+// the state machine, joins and subscribes the node, and begins executing.
+func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, error) {
+	if cfg.Node == nil || cfg.SM == nil {
+		return nil, errors.New("smr: Node and SM are required")
+	}
+	r := &Replica{
+		cfg:      cfg,
+		tr:       cfg.Transport,
+		dedup:    make(map[transport.ProcessID]*clientWindow),
+		safeVec:  make(recovery.Vector),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	if len(recovered.State) > 0 {
+		_, dedup, snap, err := decodeStateParts(recovered.State)
+		if err != nil {
+			return nil, fmt.Errorf("smr: corrupt recovered checkpoint: %w", err)
+		}
+		if err := cfg.SM.Restore(snap); err != nil {
+			return nil, fmt.Errorf("smr: restore snapshot: %w", err)
+		}
+		r.dedup = decodeDedup(dedup)
+		r.safeVec = recovered.Vector.Clone()
+		// Re-persist locally so our own store has what we installed.
+		if cfg.Checkpoints != nil {
+			if err := cfg.Checkpoints.Save(recovered); err != nil {
+				return nil, fmt.Errorf("smr: persist recovered checkpoint: %w", err)
+			}
+		}
+	} else if len(recovered.Vector) > 0 {
+		r.safeVec = recovered.Vector.Clone()
+	}
+	for _, g := range cfg.Groups {
+		if err := cfg.Node.Join(g); err != nil {
+			return nil, fmt.Errorf("smr: join group %d: %w", g, err)
+		}
+	}
+	if err := cfg.Node.Subscribe(r.deliver, cfg.Groups...); err != nil {
+		return nil, fmt.Errorf("smr: subscribe: %w", err)
+	}
+	go r.serviceLoop()
+	return r, nil
+}
+
+// deliver executes one command; it runs on the merge goroutine, so state
+// machine access is single-threaded.
+func (r *Replica) deliver(d core.Delivery) {
+	cmd, err := DecodeCommand(d.Data)
+	if err != nil {
+		return // not a command (foreign traffic on a shared group)
+	}
+	r.mu.Lock()
+	w := r.dedup[cmd.Client]
+	if w == nil {
+		w = newClientWindow(0)
+		r.dedup[cmd.Client] = w
+	}
+	dup, resp := w.check(cmd.Seq)
+	r.mu.Unlock()
+
+	if !dup {
+		resp = r.cfg.SM.Execute(d.Group, cmd.Op)
+		r.mu.Lock()
+		w.record(cmd.Seq, resp)
+		r.executed++
+		r.sinceCkpt++
+		takeCkpt := r.cfg.CheckpointEvery > 0 && r.sinceCkpt >= r.cfg.CheckpointEvery
+		if takeCkpt {
+			r.sinceCkpt = 0
+		}
+		r.mu.Unlock()
+		r.executedTotal.Add(1)
+		if takeCkpt {
+			r.checkpoint()
+		}
+	}
+	if r.tr != nil {
+		// Ring carries the delivery group, Count the partition tag, so
+		// clients can both match single-group commands and count
+		// distinct partitions on multi-partition ones.
+		_ = r.tr.Send(cmd.Client, transport.Message{
+			Kind:    transport.KindResponse,
+			Ring:    d.Group,
+			Count:   uint32(r.cfg.Partition),
+			Seq:     cmd.Seq,
+			Payload: resp,
+		})
+	}
+}
+
+// checkpoint snapshots the state machine with its identifying tuple and
+// merge cursor. Runs on the merge goroutine (inside deliver), so vector,
+// cursor and snapshot are mutually consistent (Section 5.2).
+func (r *Replica) checkpoint() {
+	if r.cfg.Checkpoints == nil {
+		return
+	}
+	vec := r.cfg.Node.DeliveredVector()
+	cur := r.cfg.Node.MergeCursor()
+	r.mu.Lock()
+	dedup := encodeDedup(r.dedup)
+	r.mu.Unlock()
+	state := encodeStateParts(cur, dedup, r.cfg.SM.Snapshot())
+	cp := recovery.Checkpoint{Vector: vec, State: state}
+	if err := r.cfg.Checkpoints.Save(cp); err != nil {
+		return // keep serving; trim just cannot advance
+	}
+	r.mu.Lock()
+	r.safeVec = vec.Clone()
+	r.mu.Unlock()
+	r.checkpoints.Add(1)
+}
+
+// ForceCheckpoint takes a checkpoint outside the delivery path; used by
+// services that checkpoint on a timer while idle. It is only safe when no
+// command is concurrently executing (the caller pauses traffic), so it is
+// primarily for tests and controlled experiments.
+func (r *Replica) ForceCheckpoint() { r.checkpoint() }
+
+// serviceLoop answers trim and recovery RPCs.
+func (r *Replica) serviceLoop() {
+	defer close(r.loopDone)
+	for {
+		select {
+		case <-r.done:
+			return
+		case m, ok := <-r.cfg.Service:
+			if !ok {
+				return
+			}
+			r.handleService(m)
+		}
+	}
+}
+
+func (r *Replica) handleService(m transport.Message) {
+	switch m.Kind {
+	case transport.KindSafeReq:
+		// Trim protocol: report k[x]p, the group's instance in our
+		// last durable checkpoint (Section 5.2, Predicate 2).
+		r.mu.Lock()
+		k := r.safeVec[m.Ring]
+		r.mu.Unlock()
+		if r.tr != nil {
+			_ = r.tr.Send(m.From, transport.Message{
+				Kind:     transport.KindSafeResp,
+				Ring:     m.Ring,
+				Instance: k,
+			})
+		}
+	case transport.KindCheckpointReq:
+		r.mu.Lock()
+		vec := r.safeVec.Clone()
+		r.mu.Unlock()
+		if r.tr != nil {
+			_ = r.tr.Send(m.From, transport.Message{
+				Kind:    transport.KindCheckpointResp,
+				Seq:     m.Seq,
+				Payload: recovery.EncodeVector(vec),
+			})
+		}
+	case transport.KindSnapshotReq:
+		if r.cfg.Checkpoints == nil || r.tr == nil {
+			return
+		}
+		cp, ok := r.cfg.Checkpoints.Latest()
+		if !ok {
+			return
+		}
+		_ = r.tr.Send(m.From, transport.Message{
+			Kind:    transport.KindSnapshotResp,
+			Seq:     m.Seq,
+			Payload: cp.Encode(),
+		})
+	}
+}
+
+// ExecutedCount reports commands executed (excluding duplicates).
+func (r *Replica) ExecutedCount() uint64 { return r.executedTotal.Load() }
+
+// CheckpointCount reports checkpoints taken since start.
+func (r *Replica) CheckpointCount() uint64 { return r.checkpoints.Load() }
+
+// SafeVector returns the tuple of the last durable checkpoint.
+func (r *Replica) SafeVector() recovery.Vector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.safeVec.Clone()
+}
+
+// Stop halts the replica and its node.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.done)
+		r.cfg.Node.Stop()
+		<-r.loopDone
+	})
+}

@@ -1,0 +1,32 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// filepathGlob lists segment files in a WAL directory in name order.
+func filepathGlob(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// appendGarbage writes junk bytes to the end of a file to simulate a torn
+// record.
+func appendGarbage(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package storage provides the stable-storage substrates used by acceptors
+// (vote logs) and replicas (checkpoints).
+//
+// Three layers are provided:
+//
+//   - Log: the acceptor log contract — durable Put/Get of per-instance
+//     records plus prefix Trim (Section 5.1: acceptors log Phase 1B/2B
+//     responses before replying, and trim coordinated with checkpoints).
+//   - MemLog: volatile slot-buffer implementation, mirroring the paper's
+//     in-memory acceptors (pre-allocated buffers of 15000 slots × 32 KB).
+//   - FileWAL: a real, file-backed segmented write-ahead log with
+//     synchronous and asynchronous modes and segment-granular trimming
+//     (the Berkeley DB substitute).
+//
+// Disk timing for the simulation benchmarks lives in disk.go: a calibrated
+// latency model for HDD/SSD × sync/async, wrapped around any Log.
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// Log is the acceptor stable-storage contract. Implementations must be
+// safe for concurrent use.
+type Log interface {
+	// Put durably stores the record for a consensus instance. For
+	// synchronous implementations Put returns after the record is
+	// persisted; asynchronous ones may buffer.
+	Put(instance uint64, record []byte) error
+	// Get returns the record stored for an instance, or ok=false if the
+	// instance was never stored or has been trimmed.
+	Get(instance uint64) (record []byte, ok bool)
+	// Trim discards all records with instance <= upTo. Implementations
+	// may retain more than required but never less.
+	Trim(upTo uint64) error
+	// FirstRetained returns the lowest instance that is guaranteed still
+	// retrievable (0 if nothing was trimmed yet).
+	FirstRetained() uint64
+	// Sync flushes any buffered records to stable storage.
+	Sync() error
+	// Close releases resources, flushing buffered data first.
+	Close() error
+}
+
+// ErrLogClosed is returned by operations on a closed log.
+var ErrLogClosed = errors.New("storage: log closed")
+
+// MemLog is an in-memory Log. It mirrors the paper's in-memory acceptor
+// buffers: bounded retention is the caller's job via Trim. The zero value
+// is ready to use.
+type MemLog struct {
+	mu      sync.RWMutex
+	records map[uint64][]byte
+	trimmed uint64
+	closed  bool
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog {
+	return &MemLog{records: make(map[uint64][]byte)}
+}
+
+var _ Log = (*MemLog)(nil)
+
+// Put stores a copy of record for instance.
+func (l *MemLog) Put(instance uint64, record []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrLogClosed
+	}
+	if l.records == nil {
+		l.records = make(map[uint64][]byte)
+	}
+	if instance <= l.trimmed && l.trimmed > 0 {
+		return nil // already trimmed; ignore stale writes
+	}
+	cp := make([]byte, len(record))
+	copy(cp, record)
+	l.records[instance] = cp
+	return nil
+}
+
+// Get returns the record for instance.
+func (l *MemLog) Get(instance uint64) ([]byte, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.records[instance]
+	return rec, ok
+}
+
+// Trim discards records for instances <= upTo.
+func (l *MemLog) Trim(upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrLogClosed
+	}
+	if upTo <= l.trimmed {
+		return nil
+	}
+	for inst := range l.records {
+		if inst <= upTo {
+			delete(l.records, inst)
+		}
+	}
+	l.trimmed = upTo
+	return nil
+}
+
+// FirstRetained returns the lowest guaranteed-retrievable instance.
+func (l *MemLog) FirstRetained() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.trimmed == 0 {
+		return 0
+	}
+	return l.trimmed + 1
+}
+
+// Len reports the number of retained records.
+func (l *MemLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.records)
+}
+
+// Sync is a no-op for the in-memory log.
+func (l *MemLog) Sync() error { return nil }
+
+// Close marks the log closed.
+func (l *MemLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}

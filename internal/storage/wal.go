@@ -1,0 +1,382 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncMode selects the durability mode of a FileWAL, mirroring the paper's
+// synchronous vs. asynchronous acceptor disk writes.
+type SyncMode int
+
+const (
+	// SyncEveryPut flushes and fsyncs after every Put ("synchronous disk
+	// writes"; the paper disables batching in this mode).
+	SyncEveryPut SyncMode = iota + 1
+	// SyncPeriodic buffers writes and flushes on a background interval
+	// ("asynchronous disk writes").
+	SyncPeriodic
+)
+
+// FileWAL is a segmented, file-backed write-ahead log for acceptor votes
+// and decisions. Records are framed as:
+//
+//	instance(8) len(4) crc32(4) data(len)
+//
+// Segments roll over at a size threshold; Trim removes whole segments whose
+// records are all <= the trim watermark. Open rebuilds the in-memory index
+// by scanning segments, so an acceptor recovers its log after a crash
+// (Section 5.1, acceptor recovery).
+type FileWAL struct {
+	dir     string
+	mode    SyncMode
+	maxSeg  int64
+	flushEv time.Duration
+
+	mu       sync.Mutex
+	segs     []*walSegment
+	cur      *os.File
+	curW     *bufio.Writer
+	curSize  int64
+	curFirst uint64 // lowest instance in current segment
+	curLast  uint64
+	curBase  int // numeric name of current segment
+	index    map[uint64]walLoc
+	trimmed  uint64
+	closed   bool
+
+	flushDone chan struct{}
+	flushStop chan struct{}
+}
+
+type walSegment struct {
+	path  string
+	base  int
+	first uint64
+	last  uint64
+}
+
+type walLoc struct {
+	data []byte // records cached in memory for serving retransmissions
+}
+
+// WALOptions configures OpenWAL.
+type WALOptions struct {
+	// Mode selects sync-per-put or periodic flushing. Default SyncEveryPut.
+	Mode SyncMode
+	// MaxSegmentBytes rolls segments at this size. Default 8 MB.
+	MaxSegmentBytes int64
+	// FlushInterval is the async flush period. Default 10 ms.
+	FlushInterval time.Duration
+}
+
+// OpenWAL opens (creating if needed) a WAL in dir and replays existing
+// segments to rebuild the index.
+func OpenWAL(dir string, opts WALOptions) (*FileWAL, error) {
+	if opts.Mode == 0 {
+		opts.Mode = SyncEveryPut
+	}
+	if opts.MaxSegmentBytes == 0 {
+		opts.MaxSegmentBytes = 8 << 20
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = 10 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create wal dir: %w", err)
+	}
+	w := &FileWAL{
+		dir:       dir,
+		mode:      opts.Mode,
+		maxSeg:    opts.MaxSegmentBytes,
+		flushEv:   opts.FlushInterval,
+		index:     make(map[uint64]walLoc),
+		flushDone: make(chan struct{}),
+		flushStop: make(chan struct{}),
+	}
+	if err := w.replay(); err != nil {
+		return nil, err
+	}
+	if err := w.rollSegment(); err != nil {
+		return nil, err
+	}
+	if w.mode == SyncPeriodic {
+		go w.flushLoop()
+	} else {
+		close(w.flushDone)
+	}
+	return w, nil
+}
+
+var _ Log = (*FileWAL)(nil)
+
+func segName(base int) string { return fmt.Sprintf("wal-%09d.seg", base) }
+
+// replay scans existing segments in order, loading records into the index.
+func (w *FileWAL) replay() error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("storage: read wal dir: %w", err)
+	}
+	var bases []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		base, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"))
+		if err != nil {
+			continue
+		}
+		bases = append(bases, base)
+	}
+	sort.Ints(bases)
+	for _, base := range bases {
+		path := filepath.Join(w.dir, segName(base))
+		seg := &walSegment{path: path, base: base}
+		if err := w.replaySegment(seg); err != nil {
+			return err
+		}
+		w.segs = append(w.segs, seg)
+		if base >= w.curBase {
+			w.curBase = base + 1
+		}
+	}
+	return nil
+}
+
+func (w *FileWAL) replaySegment(seg *walSegment) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("storage: open segment: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	r := bufio.NewReader(f)
+	var hdr [16]byte
+	first := true
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// EOF or torn tail record: stop replay of this segment.
+			return nil
+		}
+		inst := binary.LittleEndian.Uint64(hdr[:8])
+		size := binary.LittleEndian.Uint32(hdr[8:12])
+		sum := binary.LittleEndian.Uint32(hdr[12:16])
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil // torn record
+		}
+		if crc32.ChecksumIEEE(data) != sum {
+			return nil // corrupt tail; discard rest
+		}
+		w.index[inst] = walLoc{data: data}
+		if first || inst < seg.first {
+			seg.first = inst
+		}
+		if inst > seg.last {
+			seg.last = inst
+		}
+		first = false
+	}
+}
+
+// rollSegment closes the current segment (if any) and starts a new one.
+// Caller need not hold the lock during Open; afterwards callers do.
+func (w *FileWAL) rollSegment() error {
+	if w.cur != nil {
+		if err := w.curW.Flush(); err != nil {
+			return err
+		}
+		if err := w.cur.Sync(); err != nil {
+			return err
+		}
+		if err := w.cur.Close(); err != nil {
+			return err
+		}
+		w.segs = append(w.segs, &walSegment{
+			path:  filepath.Join(w.dir, segName(w.curBase)),
+			base:  w.curBase,
+			first: w.curFirst,
+			last:  w.curLast,
+		})
+		w.curBase++
+	}
+	path := filepath.Join(w.dir, segName(w.curBase))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: open segment: %w", err)
+	}
+	w.cur = f
+	w.curW = bufio.NewWriterSize(f, 256<<10)
+	w.curSize = 0
+	w.curFirst = 0
+	w.curLast = 0
+	return nil
+}
+
+// Put appends a record for instance.
+func (w *FileWAL) Put(instance uint64, record []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrLogClosed
+	}
+	if w.trimmed > 0 && instance <= w.trimmed {
+		return nil
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], instance)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(record)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(record))
+	if _, err := w.curW.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.curW.Write(record); err != nil {
+		return err
+	}
+	cp := make([]byte, len(record))
+	copy(cp, record)
+	w.index[instance] = walLoc{data: cp}
+	if w.curFirst == 0 || instance < w.curFirst {
+		w.curFirst = instance
+	}
+	if instance > w.curLast {
+		w.curLast = instance
+	}
+	w.curSize += int64(16 + len(record))
+	if w.mode == SyncEveryPut {
+		if err := w.curW.Flush(); err != nil {
+			return err
+		}
+		if err := w.cur.Sync(); err != nil {
+			return err
+		}
+	}
+	if w.curSize >= w.maxSeg {
+		return w.rollSegment()
+	}
+	return nil
+}
+
+// Get returns the cached record for instance.
+func (w *FileWAL) Get(instance uint64) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	loc, ok := w.index[instance]
+	if !ok {
+		return nil, false
+	}
+	return loc.data, true
+}
+
+// Trim removes whole segments whose records are all <= upTo and drops
+// trimmed entries from the index.
+func (w *FileWAL) Trim(upTo uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrLogClosed
+	}
+	if upTo <= w.trimmed {
+		return nil
+	}
+	w.trimmed = upTo
+	kept := w.segs[:0]
+	for _, seg := range w.segs {
+		if seg.last != 0 && seg.last <= upTo {
+			_ = os.Remove(seg.path)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.segs = kept
+	for inst := range w.index {
+		if inst <= upTo {
+			delete(w.index, inst)
+		}
+	}
+	return nil
+}
+
+// FirstRetained returns the lowest guaranteed-retrievable instance.
+func (w *FileWAL) FirstRetained() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.trimmed == 0 {
+		return 0
+	}
+	return w.trimmed + 1
+}
+
+// Sync flushes buffered records and fsyncs the current segment.
+func (w *FileWAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *FileWAL) syncLocked() error {
+	if w.closed {
+		return ErrLogClosed
+	}
+	if err := w.curW.Flush(); err != nil {
+		return err
+	}
+	return w.cur.Sync()
+}
+
+func (w *FileWAL) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.flushEv)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed {
+				_ = w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes and closes the log.
+func (w *FileWAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	err := w.syncLocked()
+	w.closed = true
+	cerr := w.cur.Close()
+	w.mu.Unlock()
+	if w.mode == SyncPeriodic {
+		close(w.flushStop)
+	}
+	<-w.flushDone
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SegmentCount reports the number of on-disk segments (including current).
+func (w *FileWAL) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segs) + 1
+}

@@ -1,0 +1,390 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"amcast/internal/coord"
+	"amcast/internal/core"
+	"amcast/internal/recovery"
+	"amcast/internal/smr"
+	"amcast/internal/storage"
+	"amcast/internal/transport"
+)
+
+// SM is the MRP-Store replicated state machine: a sorted in-memory
+// database applying Table 1 operations. It implements smr.StateMachine;
+// all methods are called from the replica's single delivery goroutine, but
+// a mutex still guards the tree because benchmarks read sizes concurrently.
+type SM struct {
+	mu sync.Mutex
+	db *treap
+}
+
+// NewSM returns an empty database state machine.
+func NewSM() *SM {
+	return &SM{db: newTreap()}
+}
+
+var _ smr.StateMachine = (*SM)(nil)
+
+// Execute applies one encoded operation.
+func (s *SM) Execute(_ transport.RingID, raw []byte) []byte {
+	op, err := DecodeOp(raw)
+	if err != nil {
+		return Result{Status: StatusBadRequest}.Encode()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(op).Encode()
+}
+
+func (s *SM) apply(op Op) Result {
+	switch op.Kind {
+	case OpRead:
+		if v, ok := s.db.Get(op.Key); ok {
+			return Result{Status: StatusOK, Entries: []Entry{{Key: op.Key, Value: append([]byte(nil), v...)}}}
+		}
+		return Result{Status: StatusNotFound}
+	case OpScan:
+		var entries []Entry
+		s.db.Range(op.Key, op.KeyHi, func(k string, v []byte) bool {
+			entries = append(entries, Entry{Key: k, Value: append([]byte(nil), v...)})
+			return true
+		})
+		return Result{Status: StatusOK, Entries: entries}
+	case OpUpdate:
+		if _, ok := s.db.Get(op.Key); !ok {
+			return Result{Status: StatusNotFound}
+		}
+		s.db.Put(op.Key, append([]byte(nil), op.Value...))
+		return Result{Status: StatusOK}
+	case OpInsert:
+		if _, ok := s.db.Get(op.Key); ok {
+			return Result{Status: StatusExists}
+		}
+		s.db.Put(op.Key, append([]byte(nil), op.Value...))
+		return Result{Status: StatusOK}
+	case OpDelete:
+		if s.db.Delete(op.Key) {
+			return Result{Status: StatusOK}
+		}
+		return Result{Status: StatusNotFound}
+	case OpBatch:
+		res := Result{Status: StatusOK}
+		for _, sub := range op.Batch {
+			res.Results = append(res.Results, s.apply(sub))
+		}
+		return res
+	default:
+		return Result{Status: StatusBadRequest}
+	}
+}
+
+// Len reports the number of entries (instrumentation).
+func (s *SM) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Len()
+}
+
+// Snapshot serializes the database: count(8) then length-prefixed pairs in
+// key order.
+func (s *SM) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf []byte
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(s.db.Len()))
+	buf = append(buf, tmp[:]...)
+	s.db.All(func(k string, v []byte) bool {
+		buf = appendString(buf, k)
+		buf = appendBytes(buf, v)
+		return true
+	})
+	return buf
+}
+
+// Restore replaces the database with a snapshot.
+func (s *SM) Restore(snap []byte) error {
+	if len(snap) < 8 {
+		return recovery.ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint64(snap[:8])
+	snap = snap[8:]
+	db := newTreap()
+	for i := uint64(0); i < n; i++ {
+		k, rest, ok := readString(snap)
+		if !ok {
+			return recovery.ErrCorrupt
+		}
+		v, rest2, ok := readBytes(rest)
+		if !ok {
+			return recovery.ErrCorrupt
+		}
+		db.Put(k, append([]byte(nil), v...))
+		snap = rest2
+	}
+	s.mu.Lock()
+	s.db = db
+	s.mu.Unlock()
+	return nil
+}
+
+// ServerConfig configures one MRP-Store replica process.
+type ServerConfig struct {
+	// Self is the process id.
+	Self transport.ProcessID
+	// Partition is the partition ring this server replicates.
+	Partition transport.RingID
+	// Peers are the other replicas of the same partition.
+	Peers []transport.ProcessID
+	// Router/Coord wire the process into the deployment.
+	Router *transport.Router
+	Coord  *coord.Service
+	// NewLog supplies acceptor logs (defaults to in-memory).
+	NewLog func(transport.RingID) storage.Log
+	// Checkpoints persists checkpoints; defaults to an in-memory store.
+	Checkpoints recovery.Store
+	// CheckpointEvery commands between checkpoints (0 disables).
+	CheckpointEvery int
+	// Ring tunes the consensus rings.
+	Ring core.RingOptions
+	// M is the deterministic merge quota.
+	M int
+	// GlobalLambda overrides the rate-leveling λ on the global ring (0
+	// keeps Ring.Lambda). A higher global λ keeps the deterministic
+	// merge from waiting on the (mostly idle) global ring.
+	GlobalLambda int
+	// RecoveryTimeout bounds peer recovery; zero skips peer recovery.
+	RecoveryTimeout time.Duration
+}
+
+// Server is one MRP-Store replica: it loads the schema, recovers, joins
+// its partition ring (and the global ring if the schema has one) and
+// serves.
+type Server struct {
+	sm      *SM
+	replica *smr.Replica
+	schema  Schema
+}
+
+// NewServer boots a replica per the published schema.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	schema, err := LoadSchema(cfg.Coord)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Checkpoints == nil {
+		cfg.Checkpoints = recovery.NewMemStore()
+	}
+	groups := []transport.RingID{cfg.Partition}
+	if schema.GlobalGroup != 0 {
+		groups = append(groups, schema.GlobalGroup)
+	}
+	built, err := smr.BuildNode(smr.RecoveryOptions{
+		Core: core.Config{
+			Self:           cfg.Self,
+			Router:         cfg.Router,
+			Coord:          cfg.Coord,
+			NewLog:         cfg.NewLog,
+			M:              cfg.M,
+			Ring:           cfg.Ring,
+			LambdaOverride: globalLambdaOverride(schema.GlobalGroup, cfg.GlobalLambda),
+		},
+		Store:   cfg.Checkpoints,
+		Peers:   peersOrNil(cfg.RecoveryTimeout, cfg.Peers),
+		Service: cfg.Router.Service(),
+		Timeout: cfg.RecoveryTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sm := NewSM()
+	rep, err := smr.NewReplica(smr.ReplicaConfig{
+		Self:            cfg.Self,
+		Partition:       cfg.Partition,
+		Groups:          groups,
+		Peers:           cfg.Peers,
+		Node:            built.Node,
+		Transport:       cfg.Router.Transport(),
+		Service:         cfg.Router.Service(),
+		SM:              sm,
+		Checkpoints:     cfg.Checkpoints,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}, built.Checkpoint)
+	if err != nil {
+		built.Node.Stop()
+		return nil, fmt.Errorf("store: start replica: %w", err)
+	}
+	return &Server{sm: sm, replica: rep, schema: schema}, nil
+}
+
+// globalLambdaOverride builds the per-ring λ override map.
+func globalLambdaOverride(global transport.RingID, lambda int) map[transport.RingID]int {
+	if global == 0 || lambda == 0 {
+		return nil
+	}
+	return map[transport.RingID]int{global: lambda}
+}
+
+func peersOrNil(timeout time.Duration, peers []transport.ProcessID) []transport.ProcessID {
+	if timeout == 0 {
+		return nil
+	}
+	return peers
+}
+
+// SM exposes the state machine (instrumentation).
+func (s *Server) SM() *SM { return s.sm }
+
+// Replica exposes the underlying replica (instrumentation).
+func (s *Server) Replica() *smr.Replica { return s.replica }
+
+// Stop halts the server.
+func (s *Server) Stop() { s.replica.Stop() }
+
+// Client is the MRP-Store client API (Table 1). It is safe for concurrent
+// use; each call blocks until the required responses arrive.
+type Client struct {
+	schema Schema
+	cl     *smr.Client
+	// Timeout per operation.
+	Timeout time.Duration
+}
+
+// NewClient builds a store client over an smr client and the published
+// schema.
+func NewClient(svc *coord.Service, cl *smr.Client) (*Client, error) {
+	schema, err := LoadSchema(svc)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{schema: schema, cl: cl, Timeout: 10 * time.Second}, nil
+}
+
+// Schema returns the partitioning schema in use.
+func (c *Client) Schema() Schema { return c.schema }
+
+// Read returns the value of entry k, if existent.
+func (c *Client) Read(k string) ([]byte, bool, error) {
+	res, err := c.single(Op{Kind: OpRead, Key: k})
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Status == StatusNotFound {
+		return nil, false, nil
+	}
+	if res.Status != StatusOK || len(res.Entries) == 0 {
+		return nil, false, fmt.Errorf("store: read failed: %s", res.Status)
+	}
+	return res.Entries[0].Value, true, nil
+}
+
+// Insert adds tuple (k, v) to the database.
+func (c *Client) Insert(k string, v []byte) error {
+	res, err := c.single(Op{Kind: OpInsert, Key: k, Value: v})
+	if err != nil {
+		return err
+	}
+	if res.Status != StatusOK {
+		return fmt.Errorf("store: insert %q: %s", k, res.Status)
+	}
+	return nil
+}
+
+// Update replaces entry k with value v, if existent.
+func (c *Client) Update(k string, v []byte) error {
+	res, err := c.single(Op{Kind: OpUpdate, Key: k, Value: v})
+	if err != nil {
+		return err
+	}
+	if res.Status != StatusOK {
+		return fmt.Errorf("store: update %q: %s", k, res.Status)
+	}
+	return nil
+}
+
+// Delete removes entry k from the database.
+func (c *Client) Delete(k string) error {
+	res, err := c.single(Op{Kind: OpDelete, Key: k})
+	if err != nil {
+		return err
+	}
+	if res.Status != StatusOK {
+		return fmt.Errorf("store: delete %q: %s", k, res.Status)
+	}
+	return nil
+}
+
+// single routes a single-key operation to the owning partition.
+func (c *Client) single(op Op) (Result, error) {
+	group := c.schema.PartitionOf(op.Key)
+	resps, err := c.cl.Submit([]transport.RingID{group}, op.Encode(), []transport.RingID{group}, 1, c.Timeout)
+	if err != nil {
+		return Result{}, err
+	}
+	return DecodeResult(resps[0])
+}
+
+// Scan returns all entries within range k..k'. It is multicast to the
+// global group when one exists (totally ordered with everything) or to
+// every covering partition group otherwise.
+func (c *Client) Scan(k, kHi string) ([]Entry, error) {
+	op := Op{Kind: OpScan, Key: k, KeyHi: kHi}
+	targets := c.schema.GroupsForScan(k, kHi)
+	groups := targets
+	if c.schema.GlobalGroup != 0 {
+		groups = []transport.RingID{c.schema.GlobalGroup}
+	}
+	resps, err := c.cl.Submit(groups, op.Encode(), targets, len(targets), c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	var all []Entry
+	for _, raw := range resps {
+		res, err := DecodeResult(raw)
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != StatusOK {
+			return nil, fmt.Errorf("store: scan failed: %s", res.Status)
+		}
+		all = append(all, res.Entries...)
+	}
+	sortEntries(all)
+	return all, nil
+}
+
+// Batch applies several single-partition operations grouped per partition
+// (client-side batching, Section 7.2). All ops in one call must belong to
+// the same partition; the helper BatchByPartition groups them.
+func (c *Client) Batch(group transport.RingID, ops []Op) ([]Result, error) {
+	op := Op{Kind: OpBatch, Batch: ops}
+	resps, err := c.cl.Submit([]transport.RingID{group}, op.Encode(), []transport.RingID{group}, 1, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	res, err := DecodeResult(resps[0])
+	if err != nil {
+		return nil, err
+	}
+	return res.Results, nil
+}
+
+// BatchByPartition groups operations by owning partition.
+func (c *Client) BatchByPartition(ops []Op) map[transport.RingID][]Op {
+	out := make(map[transport.RingID][]Op)
+	for _, op := range ops {
+		g := c.schema.PartitionOf(op.Key)
+		out[g] = append(out[g], op)
+	}
+	return out
+}
+
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+}

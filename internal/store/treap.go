@@ -1,0 +1,199 @@
+// Package store implements MRP-Store (Section 6.1): a partitioned,
+// replicated key-value store with sequential consistency built on
+// Multi-Ring Paxos state-machine replication.
+//
+// Keys are strings, values arbitrary byte arrays. The database is divided
+// into partitions, each responsible for a subset of the key space (hash-
+// or range-partitioned; the schema is published through the coordination
+// service as in Section 7.2). Each partition is replicated with
+// state-machine replication over its own multicast group; replicas may
+// additionally subscribe to a global group so multi-partition operations
+// (scans) are ordered with respect to all other operations.
+package store
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// treap is a randomized balanced binary search tree used as the in-memory
+// sorted database at every replica (the paper stores entries "in an
+// in-memory tree"). Expected O(log n) insert/delete/lookup and in-order
+// range iteration for scans.
+type treap struct {
+	root *treapNode
+	size int
+	rng  *rand.Rand
+}
+
+type treapNode struct {
+	key         string
+	value       []byte
+	priority    int64
+	left, right *treapNode
+}
+
+// newTreap builds an empty tree with a deterministic priority source so
+// replicas stay byte-identical (determinism matters for state machines).
+func newTreap() *treap {
+	return &treap{rng: rand.New(rand.NewSource(0x5eed))}
+}
+
+// Len reports the number of entries.
+func (t *treap) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *treap) Get(key string) ([]byte, bool) {
+	n := t.root
+	for n != nil {
+		switch c := strings.Compare(key, n.key); {
+		case c == 0:
+			return n.value, true
+		case c < 0:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the value under key, reporting whether the key
+// already existed.
+func (t *treap) Put(key string, value []byte) bool {
+	var existed bool
+	t.root, existed = t.put(t.root, key, value)
+	if !existed {
+		t.size++
+	}
+	return existed
+}
+
+func (t *treap) put(n *treapNode, key string, value []byte) (*treapNode, bool) {
+	if n == nil {
+		return &treapNode{key: key, value: value, priority: t.rng.Int63()}, false
+	}
+	switch c := strings.Compare(key, n.key); {
+	case c == 0:
+		n.value = value
+		return n, true
+	case c < 0:
+		var existed bool
+		n.left, existed = t.put(n.left, key, value)
+		if n.left.priority > n.priority {
+			n = rotateRight(n)
+		}
+		return n, existed
+	default:
+		var existed bool
+		n.right, existed = t.put(n.right, key, value)
+		if n.right.priority > n.priority {
+			n = rotateLeft(n)
+		}
+		return n, existed
+	}
+}
+
+// Delete removes key, reporting whether it existed.
+func (t *treap) Delete(key string) bool {
+	var existed bool
+	t.root, existed = t.del(t.root, key)
+	if existed {
+		t.size--
+	}
+	return existed
+}
+
+func (t *treap) del(n *treapNode, key string) (*treapNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch c := strings.Compare(key, n.key); {
+	case c < 0:
+		var existed bool
+		n.left, existed = t.del(n.left, key)
+		return n, existed
+	case c > 0:
+		var existed bool
+		n.right, existed = t.del(n.right, key)
+		return n, existed
+	default:
+		return t.merge(n.left, n.right), true
+	}
+}
+
+// merge joins two treaps where every key in a precedes every key in b.
+func (t *treap) merge(a, b *treapNode) *treapNode {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.priority > b.priority:
+		a.right = t.merge(a.right, b)
+		return a
+	default:
+		b.left = t.merge(a, b.left)
+		return b
+	}
+}
+
+func rotateRight(n *treapNode) *treapNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// Range calls fn for every entry with lo <= key <= hi in ascending key
+// order; fn returning false stops the iteration.
+func (t *treap) Range(lo, hi string, fn func(key string, value []byte) bool) {
+	t.rangeNode(t.root, lo, hi, fn)
+}
+
+func (t *treap) rangeNode(n *treapNode, lo, hi string, fn func(string, []byte) bool) bool {
+	if n == nil {
+		return true
+	}
+	if strings.Compare(n.key, lo) >= 0 {
+		if !t.rangeNode(n.left, lo, hi, fn) {
+			return false
+		}
+	}
+	if strings.Compare(n.key, lo) >= 0 && strings.Compare(n.key, hi) <= 0 {
+		if !fn(n.key, n.value) {
+			return false
+		}
+	}
+	if strings.Compare(n.key, hi) <= 0 {
+		if !t.rangeNode(n.right, lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// All calls fn for every entry in ascending key order.
+func (t *treap) All(fn func(key string, value []byte) bool) {
+	t.all(t.root, fn)
+}
+
+func (t *treap) all(n *treapNode, fn func(string, []byte) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.all(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.value) {
+		return false
+	}
+	return t.all(n.right, fn)
+}

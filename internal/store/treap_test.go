@@ -1,0 +1,148 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreapBasic(t *testing.T) {
+	tr := newTreap()
+	if _, ok := tr.Get("a"); ok {
+		t.Error("empty treap returned a value")
+	}
+	if existed := tr.Put("a", []byte("1")); existed {
+		t.Error("fresh insert reported existed")
+	}
+	if existed := tr.Put("a", []byte("2")); !existed {
+		t.Error("overwrite not reported")
+	}
+	v, ok := tr.Get("a")
+	if !ok || string(v) != "2" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.Delete("a") {
+		t.Error("delete of existing key failed")
+	}
+	if tr.Delete("a") {
+		t.Error("double delete succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestTreapOrderedIteration(t *testing.T) {
+	tr := newTreap()
+	keys := []string{"melon", "apple", "zebra", "kiwi", "banana"}
+	for _, k := range keys {
+		tr.Put(k, []byte(k))
+	}
+	var got []string
+	tr.All(func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTreapRange(t *testing.T) {
+	tr := newTreap()
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("key%03d", i), []byte{byte(i)})
+	}
+	var got []string
+	tr.Range("key010", "key015", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 6 || got[0] != "key010" || got[5] != "key015" {
+		t.Errorf("range = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range("key000", "key099", func(string, []byte) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop iterated %d", count)
+	}
+	// Empty range.
+	got = nil
+	tr.Range("zzz", "zzzz", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 0 {
+		t.Errorf("empty range returned %v", got)
+	}
+}
+
+// TestTreapMatchesMap is a property test: after any sequence of puts and
+// deletes, the treap agrees with a reference map and iterates sorted.
+func TestTreapMatchesMap(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		tr := newTreap()
+		ref := make(map[string]byte)
+		rng := rand.New(rand.NewSource(seed))
+		for _, raw := range opsRaw {
+			key := fmt.Sprintf("k%02d", raw%50)
+			switch rng.Intn(3) {
+			case 0, 1:
+				val := byte(raw >> 8)
+				tr.Put(key, []byte{val})
+				ref[key] = val
+			case 2:
+				delete(ref, key)
+				tr.Delete(key)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		var keys []string
+		tr.All(func(k string, _ []byte) bool {
+			keys = append(keys, k)
+			return true
+		})
+		return sort.StringsAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreapLarge(t *testing.T) {
+	tr := newTreap()
+	const n = 10000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		tr.Put(fmt.Sprintf("key%08d", i), []byte("v"))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i += 997 {
+		if _, ok := tr.Get(fmt.Sprintf("key%08d", i)); !ok {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+}

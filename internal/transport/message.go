@@ -1,0 +1,332 @@
+// Package transport provides the message types and the process-to-process
+// communication substrate used by every protocol in this repository.
+//
+// Two interchangeable implementations are provided:
+//
+//   - Network: an in-process transport whose links are shaped by a
+//     netem.Topology (latency, jitter, bandwidth). All simulation tests and
+//     benchmark figures run on it.
+//   - TCPNode: a real TCP transport with length-prefixed binary frames, used
+//     by the cmd/ executables for multi-process deployments.
+//
+// Both deliver messages FIFO per sender-receiver pair and drop (rather than
+// block on) messages addressed to crashed processes, matching the system
+// model in Section 2 of the paper: crash-recovery failures, no Byzantine
+// behaviour, fair-lossy links made reliable by retransmission above.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ProcessID identifies a process in the system (Π = {p1, p2, ...}).
+type ProcessID uint32
+
+// RingID identifies a Ring Paxos ring. Each multicast group maps 1:1 to a
+// ring, so RingID doubles as the group identifier γ.
+type RingID uint32
+
+// Kind enumerates protocol message types.
+type Kind uint8
+
+// Message kinds. Kinds beginning with Kind2 belong to Ring Paxos consensus;
+// the rest support recovery, services and client traffic.
+const (
+	// KindProposal carries a client value along the ring toward the
+	// coordinator (Ring Paxos proposal forwarding).
+	KindProposal Kind = iota + 1
+	// KindPhase1A reserves a window of consensus instances (pre-executed
+	// Phase 1); circulates the ring accumulating promises.
+	KindPhase1A
+	// KindPhase1B confirms a reserved window back to the coordinator.
+	KindPhase1B
+	// KindPhase2 is the combined Phase 2A/2B message: the coordinator's
+	// proposal plus the votes accumulated so far.
+	KindPhase2
+	// KindDecision announces a decided instance; circulates one full loop.
+	KindDecision
+	// KindRetransmitReq asks an acceptor for decided values in an
+	// instance range (replica recovery catch-up).
+	KindRetransmitReq
+	// KindRetransmitResp returns a batch of decided (instance, value)
+	// pairs.
+	KindRetransmitResp
+	// KindSafeReq asks a replica for its highest checkpointed instance
+	// for a group (trim protocol, quorum Q_T).
+	KindSafeReq
+	// KindSafeResp carries the replica's answer k[x]p.
+	KindSafeResp
+	// KindTrim instructs acceptors to discard instances <= Instance.
+	KindTrim
+	// KindCommand is a client request to a replicated service.
+	KindCommand
+	// KindResponse is a replica's reply to a client.
+	KindResponse
+	// KindCheckpointReq asks partition peers for their newest checkpoint
+	// identifier (recovery quorum Q_R).
+	KindCheckpointReq
+	// KindCheckpointResp returns a checkpoint tuple identifier.
+	KindCheckpointResp
+	// KindSnapshotReq asks a peer replica for the full checkpoint bytes.
+	KindSnapshotReq
+	// KindSnapshotResp carries checkpoint bytes.
+	KindSnapshotResp
+)
+
+var kindNames = map[Kind]string{
+	KindProposal:       "Proposal",
+	KindPhase1A:        "Phase1A",
+	KindPhase1B:        "Phase1B",
+	KindPhase2:         "Phase2",
+	KindDecision:       "Decision",
+	KindRetransmitReq:  "RetransmitReq",
+	KindRetransmitResp: "RetransmitResp",
+	KindSafeReq:        "SafeReq",
+	KindSafeResp:       "SafeResp",
+	KindTrim:           "Trim",
+	KindCommand:        "Command",
+	KindResponse:       "Response",
+	KindCheckpointReq:  "CheckpointReq",
+	KindCheckpointResp: "CheckpointResp",
+	KindSnapshotReq:    "SnapshotReq",
+	KindSnapshotResp:   "SnapshotResp",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a proposed or decided consensus value. Skip values decide Count
+// consecutive null instances (rate leveling, Section 4); they advance the
+// deterministic merge without delivering anything to the application.
+type Value struct {
+	// ID uniquely identifies a proposal: high 32 bits are the proposer's
+	// ProcessID, low 32 bits a proposer-local sequence number.
+	ID uint64
+	// Skip marks a null value used to skip instances.
+	Skip bool
+	// Batched marks a value whose Data packs several proposals into one
+	// consensus instance (message packing, Section 4); Data is then an
+	// EncodeBatch payload whose entries carry the original values.
+	Batched bool
+	// Count is the number of consecutive instances this value decides
+	// (1 for normal values, >=1 for skip ranges).
+	Count uint32
+	// Data is the application payload (opaque to the protocol).
+	Data []byte
+}
+
+// IsZero reports whether v is the zero Value.
+func (v Value) IsZero() bool {
+	return v.ID == 0 && !v.Skip && !v.Batched && v.Count == 0 && len(v.Data) == 0
+}
+
+// value flag bits in the encoded flags byte.
+const (
+	valueFlagSkip    = 1 << 0
+	valueFlagBatched = 1 << 1
+)
+
+func (v Value) flags() byte {
+	var f byte
+	if v.Skip {
+		f |= valueFlagSkip
+	}
+	if v.Batched {
+		f |= valueFlagBatched
+	}
+	return f
+}
+
+// Span returns the number of instances the value decides (at least 1).
+func (v Value) Span() uint64 {
+	if v.Count <= 1 {
+		return 1
+	}
+	return uint64(v.Count)
+}
+
+// MakeValueID composes a proposal identifier from a proposer and a local
+// sequence number.
+func MakeValueID(p ProcessID, seq uint32) uint64 {
+	return uint64(p)<<32 | uint64(seq)
+}
+
+// Message is the single wire envelope for all protocols. Field meaning
+// depends on Kind; unused fields are zero and cost little on the wire.
+type Message struct {
+	Kind     Kind
+	From     ProcessID // original sender
+	To       ProcessID // destination (set by the transport on send)
+	Ring     RingID    // ring / multicast group
+	Ballot   uint32    // Paxos ballot (Phase 1/2)
+	Instance uint64    // consensus instance (or range start)
+	Votes    uint32    // accumulated Phase 2B votes
+	Count    uint32    // window size (Phase1), batch counts, etc.
+	Seq      uint64    // request id for client/recovery RPC matching
+	Value    Value     // consensus value
+	Payload  []byte    // auxiliary bytes (snapshots, batches)
+}
+
+const msgFixedHeader = 1 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 8 // through Seq
+
+// EncodedSize returns the exact encoding length of m.
+func (m *Message) EncodedSize() int {
+	return msgFixedHeader + 8 + 1 + 4 + 4 + len(m.Value.Data) + 4 + len(m.Payload)
+}
+
+// AppendEncode appends the binary encoding of m to buf and returns the
+// extended slice. The format is fixed-width little-endian; no reflection.
+func (m *Message) AppendEncode(buf []byte) []byte {
+	var tmp [8]byte
+	buf = append(buf, byte(m.Kind))
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(m.From))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(m.To))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(m.Ring))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], m.Ballot)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:8], m.Instance)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], m.Votes)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], m.Count)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:8], m.Seq)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint64(tmp[:8], m.Value.ID)
+	buf = append(buf, tmp[:8]...)
+	buf = append(buf, m.Value.flags())
+	binary.LittleEndian.PutUint32(tmp[:4], m.Value.Count)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(m.Value.Data)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, m.Value.Data...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(m.Payload)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+// Encode returns the binary encoding of m.
+func (m *Message) Encode() []byte {
+	return m.AppendEncode(make([]byte, 0, m.EncodedSize()))
+}
+
+// ErrShortMessage reports a truncated or corrupt encoding.
+var ErrShortMessage = errors.New("transport: short or corrupt message encoding")
+
+// DecodeMessage parses a message encoded by Encode. The returned message
+// aliases buf's storage for Value.Data and Payload.
+func DecodeMessage(buf []byte) (Message, error) {
+	var m Message
+	if len(buf) < msgFixedHeader {
+		return m, ErrShortMessage
+	}
+	m.Kind = Kind(buf[0])
+	m.From = ProcessID(binary.LittleEndian.Uint32(buf[1:5]))
+	m.To = ProcessID(binary.LittleEndian.Uint32(buf[5:9]))
+	m.Ring = RingID(binary.LittleEndian.Uint32(buf[9:13]))
+	m.Ballot = binary.LittleEndian.Uint32(buf[13:17])
+	m.Instance = binary.LittleEndian.Uint64(buf[17:25])
+	m.Votes = binary.LittleEndian.Uint32(buf[25:29])
+	m.Count = binary.LittleEndian.Uint32(buf[29:33])
+	m.Seq = binary.LittleEndian.Uint64(buf[33:41])
+	rest := buf[41:]
+	if len(rest) < 8+1+4+4 {
+		return m, ErrShortMessage
+	}
+	m.Value.ID = binary.LittleEndian.Uint64(rest[:8])
+	m.Value.Skip = rest[8]&valueFlagSkip != 0
+	m.Value.Batched = rest[8]&valueFlagBatched != 0
+	m.Value.Count = binary.LittleEndian.Uint32(rest[9:13])
+	dataLen := int(binary.LittleEndian.Uint32(rest[13:17]))
+	rest = rest[17:]
+	if len(rest) < dataLen+4 {
+		return m, ErrShortMessage
+	}
+	if dataLen > 0 {
+		m.Value.Data = rest[:dataLen]
+	}
+	rest = rest[dataLen:]
+	payLen := int(binary.LittleEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) < payLen {
+		return m, ErrShortMessage
+	}
+	if payLen > 0 {
+		m.Payload = rest[:payLen]
+	}
+	return m, nil
+}
+
+// InstanceValue pairs a decided instance with its value; used in
+// retransmission batches.
+type InstanceValue struct {
+	Instance uint64
+	Value    Value
+}
+
+// EncodeBatch encodes a retransmission batch into a payload.
+func EncodeBatch(batch []InstanceValue) []byte {
+	size := 4
+	for _, iv := range batch {
+		size += 8 + 8 + 1 + 4 + 4 + len(iv.Value.Data)
+	}
+	buf := make([]byte, 0, size)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(batch)))
+	buf = append(buf, tmp[:4]...)
+	for _, iv := range batch {
+		binary.LittleEndian.PutUint64(tmp[:8], iv.Instance)
+		buf = append(buf, tmp[:8]...)
+		binary.LittleEndian.PutUint64(tmp[:8], iv.Value.ID)
+		buf = append(buf, tmp[:8]...)
+		buf = append(buf, iv.Value.flags())
+		binary.LittleEndian.PutUint32(tmp[:4], iv.Value.Count)
+		buf = append(buf, tmp[:4]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(iv.Value.Data)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, iv.Value.Data...)
+	}
+	return buf
+}
+
+// DecodeBatch parses a payload produced by EncodeBatch.
+func DecodeBatch(buf []byte) ([]InstanceValue, error) {
+	if len(buf) < 4 {
+		return nil, ErrShortMessage
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	buf = buf[4:]
+	batch := make([]InstanceValue, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 8+8+1+4+4 {
+			return nil, ErrShortMessage
+		}
+		var iv InstanceValue
+		iv.Instance = binary.LittleEndian.Uint64(buf[:8])
+		iv.Value.ID = binary.LittleEndian.Uint64(buf[8:16])
+		iv.Value.Skip = buf[16]&valueFlagSkip != 0
+		iv.Value.Batched = buf[16]&valueFlagBatched != 0
+		iv.Value.Count = binary.LittleEndian.Uint32(buf[17:21])
+		dataLen := int(binary.LittleEndian.Uint32(buf[21:25]))
+		buf = buf[25:]
+		if len(buf) < dataLen {
+			return nil, ErrShortMessage
+		}
+		if dataLen > 0 {
+			iv.Value.Data = buf[:dataLen]
+		}
+		buf = buf[dataLen:]
+		batch = append(batch, iv)
+	}
+	return batch, nil
+}

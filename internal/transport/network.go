@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"amcast/internal/netem"
+)
+
+// Network is an in-process transport hub. Every attached process gets a
+// Transport whose links to other processes are shaped by a netem.Topology:
+// messages experience serialization delay (bandwidth), propagation delay
+// and jitter while preserving FIFO order per sender-receiver pair.
+//
+// Crashing a process (Detach) silently drops messages addressed to it, and
+// a link can be blocked to emulate network partitions.
+type Network struct {
+	topo *netem.Topology
+
+	mu      sync.Mutex
+	eps     map[ProcessID]*netEndpoint
+	sites   map[ProcessID]netem.Site
+	links   map[[2]ProcessID]*linkState
+	blocked map[[2]ProcessID]bool
+	closed  bool
+
+	timers sync.WaitGroup
+}
+
+// linkState serializes deliveries on one sender-receiver path. A single
+// drain goroutine per active link sleeps until each message's delivery time
+// and pushes it to the destination mailbox, guaranteeing FIFO order.
+type linkState struct {
+	mu          sync.Mutex
+	nextFree    time.Time // when the link finishes serializing prior sends
+	lastDeliver time.Time // monotonic delivery horizon (FIFO with jitter)
+	queue       []scheduledMsg
+	draining    bool
+}
+
+type scheduledMsg struct {
+	deliverAt time.Time
+	msg       Message
+	dst       *netEndpoint
+}
+
+// NewNetwork creates a hub over the given topology. A nil topology means
+// zero-delay links (useful in unit tests).
+func NewNetwork(topo *netem.Topology) *Network {
+	if topo == nil {
+		topo = netem.NewTopology()
+	}
+	return &Network{
+		topo:    topo,
+		eps:     make(map[ProcessID]*netEndpoint),
+		sites:   make(map[ProcessID]netem.Site),
+		links:   make(map[[2]ProcessID]*linkState),
+		blocked: make(map[[2]ProcessID]bool),
+	}
+}
+
+// Topology returns the topology shaping this network.
+func (n *Network) Topology() *netem.Topology { return n.topo }
+
+// Attach registers a process at a site and returns its transport. Attaching
+// an existing id replaces the previous endpoint (the old one is closed),
+// which models a process recovering with an empty volatile state.
+func (n *Network) Attach(id ProcessID, site netem.Site) Transport {
+	ep := &netEndpoint{id: id, net: n, mb: newMailbox()}
+	n.mu.Lock()
+	old := n.eps[id]
+	n.eps[id] = ep
+	n.sites[id] = site
+	n.mu.Unlock()
+	if old != nil {
+		old.closeLocal()
+	}
+	return ep
+}
+
+// Detach crashes a process: its transport closes and future messages to it
+// are dropped.
+func (n *Network) Detach(id ProcessID) {
+	n.mu.Lock()
+	ep := n.eps[id]
+	delete(n.eps, id)
+	n.mu.Unlock()
+	if ep != nil {
+		ep.closeLocal()
+	}
+}
+
+// Block stops message flow from a to b (one direction). Use Unblock to heal.
+func (n *Network) Block(from, to ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]ProcessID{from, to}] = true
+}
+
+// Unblock restores message flow from a to b.
+func (n *Network) Unblock(from, to ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]ProcessID{from, to})
+}
+
+// Close shuts the hub and all endpoints down, waiting for in-flight
+// delivery timers to finish.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*netEndpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.eps = make(map[ProcessID]*netEndpoint)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.closeLocal()
+	}
+	n.timers.Wait()
+}
+
+// send routes a message, applying link shaping.
+func (n *Network) send(from ProcessID, m Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.blocked[[2]ProcessID{from, m.To}] {
+		n.mu.Unlock()
+		return nil // silently lost, like a partitioned link
+	}
+	dst, ok := n.eps[m.To]
+	if !ok {
+		n.mu.Unlock()
+		return nil // destination crashed: message lost
+	}
+	key := [2]ProcessID{from, m.To}
+	ls := n.links[key]
+	if ls == nil {
+		ls = &linkState{}
+		n.links[key] = ls
+	}
+	fromSite, toSite := n.sites[from], n.sites[m.To]
+	n.mu.Unlock()
+
+	size := m.EncodedSize()
+	link := n.topo.Link(fromSite, toSite)
+	scale := n.topo.Scale()
+	tx := time.Duration(float64(link.Transmission(size)) * scale)
+	prop := n.topo.Delay(fromSite, toSite, 0) // propagation + jitter, scaled
+
+	now := time.Now()
+	ls.mu.Lock()
+	start := now
+	if ls.nextFree.After(start) {
+		start = ls.nextFree
+	}
+	ls.nextFree = start.Add(tx)
+	deliverAt := start.Add(tx + prop)
+	if deliverAt.Before(ls.lastDeliver) {
+		deliverAt = ls.lastDeliver // keep FIFO despite jitter
+	}
+	ls.lastDeliver = deliverAt
+	ls.mu.Unlock()
+
+	if deliverAt.Sub(now) <= 0 {
+		ls.mu.Lock()
+		busy := ls.draining || len(ls.queue) > 0
+		ls.mu.Unlock()
+		if !busy {
+			dst.mb.push(m)
+			return nil
+		}
+		// Fall through: queue behind in-flight messages to keep FIFO.
+	}
+	ls.mu.Lock()
+	ls.queue = append(ls.queue, scheduledMsg{deliverAt: deliverAt, msg: m, dst: dst})
+	if !ls.draining {
+		ls.draining = true
+		n.timers.Add(1)
+		go n.drainLink(ls)
+	}
+	ls.mu.Unlock()
+	return nil
+}
+
+// drainLink delivers queued messages for one link in order, sleeping until
+// each message's delivery time. It exits when the queue empties.
+func (n *Network) drainLink(ls *linkState) {
+	defer n.timers.Done()
+	for {
+		ls.mu.Lock()
+		if len(ls.queue) == 0 {
+			ls.draining = false
+			ls.mu.Unlock()
+			return
+		}
+		sm := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		ls.mu.Unlock()
+
+		if d := time.Until(sm.deliverAt); d > 0 {
+			time.Sleep(d)
+		}
+		n.mu.Lock()
+		cur, ok := n.eps[sm.msg.To]
+		n.mu.Unlock()
+		// Deliver only if the same endpoint incarnation is attached.
+		if ok && cur == sm.dst {
+			sm.dst.mb.push(sm.msg)
+		}
+	}
+}
+
+// netEndpoint is the per-process view of a Network.
+type netEndpoint struct {
+	id  ProcessID
+	net *Network
+	mb  *mailbox
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*netEndpoint)(nil)
+
+func (e *netEndpoint) ID() ProcessID { return e.id }
+
+func (e *netEndpoint) Send(to ProcessID, m Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	m.From = e.id
+	m.To = to
+	return e.net.send(e.id, m)
+}
+
+func (e *netEndpoint) Recv() <-chan Message { return e.mb.out }
+
+func (e *netEndpoint) Close() error {
+	e.net.mu.Lock()
+	if e.net.eps[e.id] == e {
+		delete(e.net.eps, e.id)
+	}
+	e.net.mu.Unlock()
+	e.closeLocal()
+	return nil
+}
+
+func (e *netEndpoint) closeLocal() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.mb.close()
+}

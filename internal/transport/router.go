@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"sync"
+)
+
+// Router demultiplexes one process's incoming messages: consensus traffic
+// is routed to a per-ring channel (a process participates in many rings
+// over a single transport), everything else — client commands, responses,
+// recovery RPCs — goes to the service channel.
+type Router struct {
+	tr Transport
+
+	mu    sync.Mutex
+	rings map[RingID]*mailbox
+	other *mailbox
+	done  chan struct{}
+}
+
+// ringKinds are handled by ring.Node instances.
+func isRingKind(k Kind) bool {
+	switch k {
+	case KindProposal, KindPhase1A, KindPhase1B, KindPhase2, KindDecision,
+		KindRetransmitReq, KindRetransmitResp, KindSafeResp, KindTrim:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewRouter starts routing messages from tr. Close the transport to stop it.
+func NewRouter(tr Transport) *Router {
+	r := &Router{
+		tr:    tr,
+		rings: make(map[RingID]*mailbox),
+		other: newMailbox(),
+		done:  make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+// Transport returns the underlying transport (for sending).
+func (r *Router) Transport() Transport { return r.tr }
+
+func (r *Router) loop() {
+	defer close(r.done)
+	for m := range r.tr.Recv() {
+		if isRingKind(m.Kind) {
+			r.ringMailbox(m.Ring).push(m)
+		} else {
+			r.other.push(m)
+		}
+	}
+	// Transport closed: close all mailboxes.
+	r.mu.Lock()
+	boxes := make([]*mailbox, 0, len(r.rings)+1)
+	for _, mb := range r.rings {
+		boxes = append(boxes, mb)
+	}
+	boxes = append(boxes, r.other)
+	r.mu.Unlock()
+	for _, mb := range boxes {
+		mb.close()
+	}
+}
+
+func (r *Router) ringMailbox(ring RingID) *mailbox {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mb, ok := r.rings[ring]
+	if !ok {
+		mb = newMailbox()
+		r.rings[ring] = mb
+	}
+	return mb
+}
+
+// Ring returns the channel of consensus messages for one ring. The channel
+// closes when the transport closes.
+func (r *Router) Ring(ring RingID) <-chan Message {
+	return r.ringMailbox(ring).out
+}
+
+// Service returns the channel of non-consensus messages (commands,
+// responses, recovery RPCs). The channel closes when the transport closes.
+func (r *Router) Service() <-chan Message {
+	return r.other.out
+}
+
+// Done is closed after the router has shut down.
+func (r *Router) Done() <-chan struct{} { return r.done }

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNode is a Transport over real TCP sockets for multi-process
+// deployments (cmd/mrpstore, cmd/dlogd). Frames are length-prefixed binary
+// messages; connections are established lazily and re-dialed on failure.
+type TCPNode struct {
+	id ProcessID
+	ln net.Listener
+	mb *mailbox
+
+	mu     sync.Mutex
+	addrs  map[ProcessID]string
+	conns  map[ProcessID]*tcpConn
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writes
+	c  net.Conn
+}
+
+// maxFrame bounds a single message frame (64 MB) to protect against
+// corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// ListenTCP starts a TCP transport for process id on addr
+// (e.g. "127.0.0.1:7001"). Peer addresses are registered with SetPeer.
+func ListenTCP(id ProcessID, addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:    id,
+		ln:    ln,
+		mb:    newMailbox(),
+		addrs: make(map[ProcessID]string),
+		conns: make(map[ProcessID]*tcpConn),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// ID returns the process id bound to this node.
+func (n *TCPNode) ID() ProcessID { return n.id }
+
+// Addr returns the listening address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// SetPeer registers the address of a peer process.
+func (n *TCPNode) SetPeer(id ProcessID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[id] = addr
+}
+
+// Recv returns the incoming message channel.
+func (n *TCPNode) Recv() <-chan Message { return n.mb.out }
+
+// Send encodes and writes m to the peer, dialing if necessary. Connection
+// errors drop the cached connection so a later Send re-dials; the message
+// is lost, which the protocols tolerate (fair-lossy links).
+func (n *TCPNode) Send(to ProcessID, m Message) error {
+	m.From = n.id
+	m.To = to
+	conn, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	if conn == nil {
+		return nil // unknown peer address: treat as lost
+	}
+	frame := make([]byte, 4, 4+m.EncodedSize())
+	frame = m.AppendEncode(frame)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	conn.mu.Lock()
+	_, werr := conn.c.Write(frame)
+	conn.mu.Unlock()
+	if werr != nil {
+		n.dropConn(to, conn)
+	}
+	return nil
+}
+
+// Close shuts down the listener and all connections.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*tcpConn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.conns = make(map[ProcessID]*tcpConn)
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	n.wg.Wait()
+	n.mb.close()
+	return err
+}
+
+func (n *TCPNode) conn(to ProcessID) (*tcpConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.addrs[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, nil
+	}
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, nil // peer down: message lost
+	}
+	// Handshake: announce our id so the peer can map the inbound stream.
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(n.id))
+	if _, err := raw.Write(hello[:]); err != nil {
+		_ = raw.Close()
+		return nil, nil
+	}
+	c := &tcpConn{c: raw}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = raw.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	n.conns[to] = c
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.readLoop(raw)
+	return c, nil
+}
+
+func (n *TCPNode) dropConn(to ProcessID, c *tcpConn) {
+	n.mu.Lock()
+	if n.conns[to] == c {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	_ = c.c.Close()
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		raw, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		// Read the peer's hello so replies can reuse this stream.
+		var hello [4]byte
+		if _, err := io.ReadFull(raw, hello[:]); err != nil {
+			_ = raw.Close()
+			continue
+		}
+		peer := ProcessID(binary.LittleEndian.Uint32(hello[:]))
+		c := &tcpConn{c: raw}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = raw.Close()
+			return
+		}
+		if _, ok := n.conns[peer]; !ok {
+			n.conns[peer] = c
+		}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(raw)
+	}
+}
+
+func (n *TCPNode) readLoop(raw net.Conn) {
+	defer n.wg.Done()
+	defer func() { _ = raw.Close() }()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(raw, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(lenBuf[:])
+		if size == 0 || size > maxFrame {
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(raw, frame); err != nil {
+			return
+		}
+		m, err := DecodeMessage(frame)
+		if err != nil {
+			return
+		}
+		n.mb.push(m)
+	}
+}

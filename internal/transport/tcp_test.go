@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func newTCPPair(t *testing.T) (*TCPNode, *TCPNode) {
+	t.Helper()
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(2, "127.0.0.1:0")
+	if err != nil {
+		_ = a.Close()
+		t.Fatal(err)
+	}
+	a.SetPeer(2, b.Addr())
+	b.SetPeer(1, a.Addr())
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := newTCPPair(t)
+	msg := Message{Kind: KindCommand, Ring: 3, Seq: 41, Value: Value{ID: 9, Data: []byte("payload")}}
+	if err := a.Send(2, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b, 2*time.Second)
+	if got.From != 1 || got.Seq != 41 || string(got.Value.Data) != "payload" {
+		t.Errorf("unexpected message %+v", got)
+	}
+
+	// Reply reuses the inbound stream (peer learned via handshake).
+	if err := b.Send(1, Message{Kind: KindResponse, Seq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, a, 2*time.Second); got.Seq != 42 {
+		t.Errorf("reply seq = %d, want 42", got.Seq)
+	}
+}
+
+func TestTCPManyMessagesFIFO(t *testing.T) {
+	a, b := newTCPPair(t)
+	const count = 500
+	for i := uint64(0); i < count; i++ {
+		if err := a.Send(2, Message{Kind: KindCommand, Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < count; i++ {
+		if got := recvOne(t, b, 5*time.Second); got.Seq != i {
+			t.Fatalf("out of order at %d: got %d", i, got.Seq)
+		}
+	}
+}
+
+func TestTCPSendToUnknownPeer(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if err := a.Send(77, Message{Kind: KindCommand}); err != nil {
+		t.Errorf("send to unknown peer should be silently lost, got %v", err)
+	}
+}
+
+func TestTCPSendToDeadPeer(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetPeer(2, "127.0.0.1:1") // nothing listening
+	if err := a.Send(2, Message{Kind: KindCommand}); err != nil {
+		t.Errorf("send to dead peer should be silently lost, got %v", err)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close errored: %v", err)
+	}
+	if err := a.Send(2, Message{}); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPPeerRestart(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := ListenTCP(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	a.SetPeer(2, addr)
+	if err := a.Send(2, Message{Seq: 1, Kind: KindCommand}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 2*time.Second)
+	_ = b.Close()
+
+	// Sends while the peer is down are lost but not fatal.
+	_ = a.Send(2, Message{Seq: 2, Kind: KindCommand})
+
+	b2, err := ListenTCP(2, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer func() { _ = b2.Close() }()
+
+	// Eventually a fresh send gets through after redial.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_ = a.Send(2, Message{Seq: 3, Kind: KindCommand})
+		select {
+		case m, ok := <-b2.Recv():
+			if ok && m.Seq == 3 {
+				return
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	t.Fatal("message never delivered after peer restart")
+}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// Transport lets a process exchange messages with other processes. Send is
+// asynchronous and best-effort: delivery fails silently if the destination
+// has crashed (fair-lossy links). Recv yields incoming messages in FIFO
+// order per sender. Implementations must be safe for concurrent use.
+type Transport interface {
+	// ID returns the process identifier bound to this transport.
+	ID() ProcessID
+	// Send queues m for delivery to process to. It never blocks on the
+	// receiver. An error is returned only for local failures (closed
+	// transport, unknown destination address).
+	Send(to ProcessID, m Message) error
+	// Recv returns the channel of incoming messages. The channel is
+	// closed when the transport is closed.
+	Recv() <-chan Message
+	// Close releases resources and closes the Recv channel.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// mailbox is an unbounded FIFO queue bridged onto a channel so receivers
+// can select on incoming messages together with shutdown signals.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+
+	out  chan Message
+	done chan struct{} // pump exited
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{
+		out:  make(chan Message, 128),
+		done: make(chan struct{}),
+	}
+	mb.cond = sync.NewCond(&mb.mu)
+	go mb.pump()
+	return mb
+}
+
+// push enqueues a message; drops it if the mailbox is closed.
+func (mb *mailbox) push(m Message) {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// pump moves messages from the unbounded queue to the bounded channel.
+func (mb *mailbox) pump() {
+	defer close(mb.done)
+	defer close(mb.out)
+	for {
+		mb.mu.Lock()
+		for len(mb.queue) == 0 && !mb.closed {
+			mb.cond.Wait()
+		}
+		if len(mb.queue) == 0 && mb.closed {
+			mb.mu.Unlock()
+			return
+		}
+		m := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		mb.mu.Unlock()
+		mb.out <- m
+	}
+}
+
+// close stops the pump after the queue drains to empty-or-closed state.
+// Pending messages are discarded.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.closed = true
+	mb.queue = nil
+	mb.mu.Unlock()
+	mb.cond.Signal()
+	// Drain out so the pump can observe closure even if a message is
+	// parked on the channel send.
+	go func() {
+		for range mb.out {
+		}
+	}()
+	<-mb.done
+}

@@ -1,0 +1,187 @@
+package ycsb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mixOf(t *testing.T, w Workload, n int) map[OpType]int {
+	t.Helper()
+	f, err := NewFactory(Config{Workload: w, Records: 10000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Generator(1)
+	mix := make(map[OpType]int)
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		mix[op.Type]++
+	}
+	return mix
+}
+
+func assertFraction(t *testing.T, mix map[OpType]int, op OpType, n int, want, tol float64) {
+	t.Helper()
+	got := float64(mix[op]) / float64(n)
+	if got < want-tol || got > want+tol {
+		t.Errorf("%v fraction = %.3f, want %.2f±%.2f", op, got, want, tol)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	const n = 20000
+	tests := []struct {
+		w     Workload
+		check func(t *testing.T, mix map[OpType]int)
+	}{
+		{WorkloadA, func(t *testing.T, m map[OpType]int) {
+			assertFraction(t, m, OpRead, n, 0.5, 0.02)
+			assertFraction(t, m, OpUpdate, n, 0.5, 0.02)
+		}},
+		{WorkloadB, func(t *testing.T, m map[OpType]int) {
+			assertFraction(t, m, OpRead, n, 0.95, 0.01)
+			assertFraction(t, m, OpUpdate, n, 0.05, 0.01)
+		}},
+		{WorkloadC, func(t *testing.T, m map[OpType]int) {
+			assertFraction(t, m, OpRead, n, 1.0, 0.001)
+		}},
+		{WorkloadD, func(t *testing.T, m map[OpType]int) {
+			assertFraction(t, m, OpRead, n, 0.95, 0.01)
+			assertFraction(t, m, OpInsert, n, 0.05, 0.01)
+		}},
+		{WorkloadE, func(t *testing.T, m map[OpType]int) {
+			assertFraction(t, m, OpScan, n, 0.95, 0.01)
+			assertFraction(t, m, OpInsert, n, 0.05, 0.01)
+		}},
+		{WorkloadF, func(t *testing.T, m map[OpType]int) {
+			assertFraction(t, m, OpRead, n, 0.5, 0.02)
+			assertFraction(t, m, OpReadModifyWrite, n, 0.5, 0.02)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.w.String(), func(t *testing.T) {
+			tt.check(t, mixOf(t, tt.w, n))
+		})
+	}
+}
+
+func TestFactoryValidation(t *testing.T) {
+	if _, err := NewFactory(Config{Workload: 'Z', Records: 10}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := NewFactory(Config{Workload: WorkloadA, Records: 0}); err == nil {
+		t.Error("zero records accepted")
+	}
+}
+
+func TestKeysWellFormed(t *testing.T) {
+	f, err := NewFactory(Config{Workload: WorkloadA, Records: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Generator(2)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if !strings.HasPrefix(op.Key, "user") {
+			t.Fatalf("malformed key %q", op.Key)
+		}
+	}
+	keys := LoadKeys(10)
+	if len(keys) != 10 || keys[0] != Key(0) {
+		t.Errorf("LoadKeys = %v", keys[:2])
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := newZipfian(1000, 0.99, rng)
+	counts := make(map[int64]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("value %d out of range", v)
+		}
+		counts[v]++
+	}
+	// The hottest key should receive far more than uniform share (0.1%).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / n; frac < 0.02 {
+		t.Errorf("hottest key fraction = %.4f, want > 0.02 (zipfian skew)", frac)
+	}
+	// But the tail must still be covered reasonably.
+	if len(counts) < 500 {
+		t.Errorf("only %d distinct keys of 1000 sampled", len(counts))
+	}
+}
+
+func TestInsertsAllocateFreshKeys(t *testing.T) {
+	f, err := NewFactory(Config{Workload: WorkloadD, Records: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := f.Generator(1), f.Generator(2)
+	seen := make(map[string]bool)
+	for i := 0; i < 2000; i++ {
+		for _, g := range []*Generator{g1, g2} {
+			op := g.Next()
+			if op.Type != OpInsert {
+				continue
+			}
+			if seen[op.Key] {
+				t.Fatalf("insert key %q allocated twice", op.Key)
+			}
+			seen[op.Key] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no inserts generated")
+	}
+}
+
+func TestScanLengthsBounded(t *testing.T) {
+	f, err := NewFactory(Config{Workload: WorkloadE, Records: 1000, MaxScanLength: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Generator(1)
+	for i := 0; i < 2000; i++ {
+		op := g.Next()
+		if op.Type == OpScan && (op.ScanLength < 1 || op.ScanLength > 50) {
+			t.Fatalf("scan length %d out of bounds", op.ScanLength)
+		}
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	mk := func() []Op {
+		f, _ := NewFactory(Config{Workload: WorkloadA, Records: 1000, Seed: 9})
+		g := f.Generator(4)
+		out := make([]Op, 100)
+		for i := range out {
+			out[i] = g.Next()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Key != b[i].Key {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if OpRead.String() != "READ" || OpType(99).String() != "UNKNOWN" {
+		t.Error("OpType strings broken")
+	}
+	if WorkloadA.String() != "A" {
+		t.Error("workload string broken")
+	}
+}
