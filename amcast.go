@@ -97,6 +97,12 @@ type Options struct {
 	Durable bool
 	// DataDir is the durable log directory (required when Durable).
 	DataDir string
+	// DeliveryBatchMessages bounds the messages per batch handed to
+	// SubscribeBatch handlers (0 uses the library default).
+	DeliveryBatchMessages int
+	// DeliveryBatchBytes bounds the payload bytes per delivered batch
+	// (0 uses the library default).
+	DeliveryBatchBytes int
 }
 
 // Defaults returns the paper's datacenter configuration.
@@ -237,23 +243,26 @@ func (s *System) NewNode(id ProcessID, opts Options) (*Node, error) {
 			Lambda:        opts.MaxRate,
 			BatchBytes:    opts.BatchBytes,
 		},
+		Batch: core.BatchOptions{
+			MaxMessages: opts.DeliveryBatchMessages,
+			MaxBytes:    opts.DeliveryBatchBytes,
+		},
 	}
 	if opts.Durable {
 		if opts.DataDir == "" {
 			return nil, errors.New("amcast: Durable requires DataDir")
 		}
 		dir := opts.DataDir
-		cfg.NewLog = func(ring transport.RingID) storage.Log {
+		cfg.NewLog = func(ring transport.RingID) (storage.Log, error) {
 			wal, err := storage.OpenWAL(fmt.Sprintf("%s/ring-%d", dir, ring), storage.WALOptions{
 				Mode: storage.SyncPeriodic,
 			})
 			if err != nil {
-				// Fall back to volatile storage rather than failing
-				// the join; the error surfaces via lost durability
-				// only, matching the in-memory acceptor mode.
-				return storage.NewMemLog()
+				// Durability was requested; failing the join beats
+				// silently falling back to volatile storage.
+				return nil, fmt.Errorf("amcast: open WAL for ring %d: %w", ring, err)
 			}
-			return wal
+			return wal, nil
 		}
 	}
 	n, err := core.New(cfg)
@@ -274,8 +283,27 @@ func (n *Node) Join(g GroupID) error {
 // Subscribe starts delivery from the given groups: handler runs for every
 // message, in the deterministic merge order shared by every subscriber of
 // the same group set. Call once, after joining all groups with the learner
-// role.
+// role. It is a thin per-message adapter over SubscribeBatch; throughput-
+// sensitive subscribers should use SubscribeBatch directly.
 func (n *Node) Subscribe(handler func(Delivery), groups ...GroupID) error {
+	if handler == nil {
+		return errors.New("amcast: nil handler")
+	}
+	return n.SubscribeBatch(func(ds []Delivery) {
+		for _, d := range ds {
+			handler(d)
+		}
+	}, groups...)
+}
+
+// SubscribeBatch starts delivery from the given groups, invoking handler
+// with batches of consecutive messages in the deterministic merge order.
+// Batches are bounded by Options.DeliveryBatchMessages/Bytes and end
+// whenever the merge would otherwise wait for the network, so batching
+// adds no delivery latency. The slice is reused between calls — handlers
+// must not retain it. Call once, after joining all groups with the
+// learner role.
+func (n *Node) SubscribeBatch(handler func([]Delivery), groups ...GroupID) error {
 	if handler == nil {
 		return errors.New("amcast: nil handler")
 	}
@@ -283,12 +311,23 @@ func (n *Node) Subscribe(handler func(Delivery), groups ...GroupID) error {
 	for i, g := range groups {
 		gs[i] = transport.RingID(g)
 	}
-	return n.core.Subscribe(func(d core.Delivery) {
-		handler(Delivery{
-			Group:    GroupID(d.Group),
-			Instance: d.Instance,
-			Data:     d.Data,
-		})
+	var buf []Delivery
+	return n.core.SubscribeBatch(func(ds []core.Delivery) {
+		if cap(buf) < len(ds) {
+			buf = make([]Delivery, 0, cap(ds))
+		}
+		buf = buf[:0]
+		for _, d := range ds {
+			buf = append(buf, Delivery{
+				Group:    GroupID(d.Group),
+				Instance: d.Instance,
+				Data:     d.Data,
+			})
+		}
+		handler(buf)
+		for i := range buf {
+			buf[i] = Delivery{} // release payload references
+		}
 	}, gs...)
 }
 

@@ -286,3 +286,53 @@ func TestPublicAPIDurable(t *testing.T) {
 		t.Fatal("durable multicast not delivered")
 	}
 }
+
+func TestSubscribeBatch(t *testing.T) {
+	sys := NewSystem()
+	defer sys.Close()
+	members := []Member{
+		{ID: 1, Proposer: true, Acceptor: true, Learner: true},
+		{ID: 2, Proposer: true, Acceptor: true, Learner: true},
+		{ID: 3, Proposer: true, Acceptor: true, Learner: true},
+	}
+	if err := sys.CreateGroup(1, members); err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*Node, 3)
+	for i := ProcessID(1); i <= 3; i++ {
+		n, err := sys.NewNode(i, Defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Stop()
+		if err := n.Join(1); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i-1] = n
+	}
+	node := nodes[0]
+	got := make(chan string, 64)
+	if err := node.SubscribeBatch(func(ds []Delivery) {
+		for _, d := range ds {
+			got <- string(d.Data)
+		}
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	const count = 20
+	for i := 0; i < count; i++ {
+		if err := node.Multicast(1, []byte{'a' + byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case s := <-got:
+			if want := string([]byte{'a' + byte(i)}); s != want {
+				t.Fatalf("delivery %d = %q, want %q", i, s, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out at delivery %d", i)
+		}
+	}
+}

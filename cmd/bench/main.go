@@ -33,6 +33,9 @@ func main() {
 func run() error {
 	fig := flag.String("fig", "", "figure to regenerate: 3,4,5,6,7,8 or 'all'")
 	ablation := flag.String("ablation", "", "ablation to run: merge-m, skip, batch, global-ring or 'all'")
+	delivery := flag.Bool("delivery", false, "run the delivery-pipeline benchmark (per-message vs batched)")
+	deliveryJSON := flag.String("json", "", "write the delivery benchmark result to this JSON file")
+	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
 	clients := flag.Int("clients", 100, "maximum client threads")
@@ -46,9 +49,34 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" {
+	if *fig == "" && *ablation == "" && !*delivery {
 		flag.Usage()
-		return fmt.Errorf("pass -fig or -ablation")
+		return fmt.Errorf("pass -fig, -ablation or -delivery")
+	}
+	if !*delivery && (*deliveryJSON != "" || *seedBaseline > 0) {
+		return fmt.Errorf("-json and -seed-baseline apply to the -delivery benchmark only")
+	}
+
+	if *delivery {
+		res, err := bench.DeliveryBench(o)
+		if err != nil {
+			return err
+		}
+		if *seedBaseline > 0 {
+			res.SeedBaseline = &bench.SeedBaseline{
+				Commit:   "9613f2f (seed)",
+				Pipeline: "per-message callbacks",
+				MsgsPerS: *seedBaseline,
+			}
+			res.SpeedupVsSeed = res.Batched.MsgsPerS / *seedBaseline
+			fmt.Printf("speedup vs seed baseline: %.2fx\n", res.SpeedupVsSeed)
+		}
+		if *deliveryJSON != "" {
+			if err := res.WriteJSON(*deliveryJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *deliveryJSON)
+		}
 	}
 
 	runFig := func(name string) error {

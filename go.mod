@@ -1,0 +1,3 @@
+module amcast
+
+go 1.24

@@ -81,29 +81,35 @@ func twoGroupMeasure(o Options, m int, skip bool, batch int, loadRatio int) (Abl
 		if err := node.Join(2); err != nil {
 			return AblationRow{}, err
 		}
-		handler := func(d core.Delivery) {
-			if len(d.Data) < 16 {
-				return
-			}
-			if first {
-				meter.Add(1, uint64(len(d.Data)))
-			}
-			key := binary.LittleEndian.Uint64(d.Data[:8])
-			sentAt := int64(binary.LittleEndian.Uint64(d.Data[8:16]))
-			if first {
-				hist.Record(time.Duration(time.Now().UnixNano() - sentAt))
-			}
-			w.mu.Lock()
-			ch := w.m[key]
-			w.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- struct{}{}:
-				default:
+		handler := func(ds []core.Delivery) {
+			var count, bytes uint64
+			now := time.Now().UnixNano()
+			for _, d := range ds {
+				if len(d.Data) < 16 {
+					continue
+				}
+				count++
+				bytes += uint64(len(d.Data))
+				key := binary.LittleEndian.Uint64(d.Data[:8])
+				if first {
+					sentAt := int64(binary.LittleEndian.Uint64(d.Data[8:16]))
+					hist.Record(time.Duration(now - sentAt))
+				}
+				w.mu.Lock()
+				ch := w.m[key]
+				w.mu.Unlock()
+				if ch != nil {
+					select {
+					case ch <- struct{}{}:
+					default:
+					}
 				}
 			}
+			if first && count > 0 {
+				meter.Add(count, bytes)
+			}
 		}
-		if err := node.Subscribe(handler, 1, 2); err != nil {
+		if err := node.SubscribeBatch(handler, 1, 2); err != nil {
 			return AblationRow{}, err
 		}
 		nodes = append(nodes, node)
@@ -131,14 +137,17 @@ func twoGroupMeasure(o Options, m int, skip bool, batch int, loadRatio int) (Abl
 		wg.Add(1)
 		go func(group transport.RingID) {
 			defer wg.Done()
-			payload := make([]byte, 512)
-			binary.LittleEndian.PutUint64(payload[:8], key)
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
+				// Fresh payload per send: the in-process transport passes
+				// slices by reference, so reusing one buffer would race
+				// with acceptors copying it.
+				payload := make([]byte, 512)
+				binary.LittleEndian.PutUint64(payload[:8], key)
 				binary.LittleEndian.PutUint64(payload[8:16], uint64(time.Now().UnixNano()))
 				if err := nodes[0].Multicast(group, payload); err != nil {
 					return

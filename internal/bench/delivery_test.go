@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestDeliveryBenchShort smoke-tests both delivery modes and the JSON
+// snapshot with a short measurement window.
+func TestDeliveryBenchShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delivery bench needs a measurement window")
+	}
+	res, err := DeliveryBench(Options{Out: io.Discard, Duration: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerMessage.Executed == 0 || res.Batched.Executed == 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	path := t.TempDir() + "/delivery.json"
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -102,7 +102,7 @@ func fig3Run(o Options, mode storage.Mode, size int) (Fig3Row, error) {
 			Self:   transport.ProcessID(i + 1),
 			Router: router,
 			Coord:  svc,
-			NewLog: func(transport.RingID) storage.Log { return storage.NewModeLog(mode, o.Scale) },
+			NewLog: func(transport.RingID) (storage.Log, error) { return storage.NewModeLog(mode, o.Scale), nil },
 			Ring:   core.RingOptions{RetryInterval: 100 * time.Millisecond, Window: 64},
 		})
 		if err != nil {
@@ -111,35 +111,41 @@ func fig3Run(o Options, mode storage.Mode, size int) (Fig3Row, error) {
 		if err := node.Join(1); err != nil {
 			return Fig3Row{}, err
 		}
-		handler := func(d core.Delivery) {
-			if len(d.Data) < 16 {
-				return
-			}
-			if i == 0 {
-				// Count throughput at one learner only (the stream
-				// is identical at all three).
-				meter.Add(1, uint64(len(d.Data)))
-			}
-			// The key's high 32 bits (bytes 4..8 little-endian) name
-			// the originating node.
-			origin := binary.LittleEndian.Uint32(d.Data[4:8])
-			if int(origin) != i+1 {
-				return
-			}
-			sentAt := int64(binary.LittleEndian.Uint64(d.Data[8:16]))
-			hist.Record(time.Duration(time.Now().UnixNano() - sentAt))
-			key := binary.LittleEndian.Uint64(d.Data[:8]) // origin|threadSeq
-			w.mu.Lock()
-			ch := w.m[key]
-			w.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- struct{}{}:
-				default:
+		handler := func(ds []core.Delivery) {
+			var count, bytes uint64
+			now := time.Now().UnixNano()
+			for _, d := range ds {
+				if len(d.Data) < 16 {
+					continue
+				}
+				count++
+				bytes += uint64(len(d.Data))
+				// The key's high 32 bits (bytes 4..8 little-endian)
+				// name the originating node.
+				origin := binary.LittleEndian.Uint32(d.Data[4:8])
+				if int(origin) != i+1 {
+					continue
+				}
+				sentAt := int64(binary.LittleEndian.Uint64(d.Data[8:16]))
+				hist.Record(time.Duration(now - sentAt))
+				key := binary.LittleEndian.Uint64(d.Data[:8]) // origin|threadSeq
+				w.mu.Lock()
+				ch := w.m[key]
+				w.mu.Unlock()
+				if ch != nil {
+					select {
+					case ch <- struct{}{}:
+					default:
+					}
 				}
 			}
+			if i == 0 && count > 0 {
+				// Count throughput at one learner only (the stream
+				// is identical at all three), once per batch.
+				meter.Add(count, bytes)
+			}
 		}
-		if err := node.Subscribe(handler, 1); err != nil {
+		if err := node.SubscribeBatch(handler, 1); err != nil {
 			return Fig3Row{}, err
 		}
 		nodes[i] = node
@@ -169,14 +175,17 @@ func fig3Run(o Options, mode storage.Mode, size int) (Fig3Row, error) {
 		wg.Add(1)
 		go func(nodeID uint32) {
 			defer wg.Done()
-			payload := make([]byte, size)
-			binary.LittleEndian.PutUint64(payload[:8], key)
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
+				// Fresh payload per send: the in-process transport passes
+				// slices by reference, so reusing one buffer would race
+				// with acceptors copying it.
+				payload := make([]byte, size)
+				binary.LittleEndian.PutUint64(payload[:8], key)
 				binary.LittleEndian.PutUint64(payload[8:16], uint64(time.Now().UnixNano()))
 				if err := node.Multicast(1, payload); err != nil {
 					return

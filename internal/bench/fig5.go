@@ -85,8 +85,8 @@ func fig5DLog(o Options, clients int) (Fig5Point, error) {
 			BatchBytes:    32 << 10,
 			Window:        64,
 		},
-		NewAcceptorLog: func(transport.RingID, transport.ProcessID) storage.Log {
-			return storage.NewSimDisk(storage.NewMemLog(), storage.SSDSpec(), true, o.Scale)
+		NewAcceptorLog: func(transport.RingID, transport.ProcessID) (storage.Log, error) {
+			return storage.NewSimDisk(storage.NewMemLog(), storage.SSDSpec(), true, o.Scale), nil
 		},
 	})
 	if err != nil {

@@ -86,16 +86,16 @@ func fig6Run(o Options, rings int) (Fig6Point, error) {
 			BatchBytes:    32 << 10,
 			Window:        128,
 		},
-		NewAcceptorLog: func(ring transport.RingID, self transport.ProcessID) storage.Log {
+		NewAcceptorLog: func(ring transport.RingID, self transport.ProcessID) (storage.Log, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			k := diskKey{ring, self}
 			if l, ok := disks[k]; ok {
-				return l
+				return l, nil
 			}
 			l := storage.NewSimDisk(storage.NewMemLog(), storage.HDDSpec(), false, o.Scale)
 			disks[k] = l
-			return l
+			return l, nil
 		},
 	})
 	if err != nil {

@@ -59,8 +59,8 @@ func Fig8(o Options) (Fig8Result, error) {
 			BatchBytes:    32 << 10,
 			Window:        128,
 		},
-		NewLog: func(transport.RingID, transport.ProcessID) storage.Log {
-			return storage.NewSimDisk(storage.NewMemLog(), storage.SSDSpec(), false, o.Scale)
+		NewLog: func(transport.RingID, transport.ProcessID) (storage.Log, error) {
+			return storage.NewSimDisk(storage.NewMemLog(), storage.SSDSpec(), false, o.Scale), nil
 		},
 	})
 	if err != nil {

@@ -121,6 +121,8 @@ type StoreOptions struct {
 	SiteOf func(partition int) netem.Site
 	// Ring tunes the consensus rings.
 	Ring core.RingOptions
+	// Batch bounds the delivery batches executed by each replica.
+	Batch core.BatchOptions
 	// M is the deterministic merge quota (default 1).
 	M int
 	// GlobalLambda overrides rate-leveling λ on the global ring.
@@ -130,7 +132,7 @@ type StoreOptions struct {
 	// RecoveryTimeout enables peer recovery on restart.
 	RecoveryTimeout time.Duration
 	// NewLog supplies acceptor logs per (ring, process); nil = memory.
-	NewLog func(ring transport.RingID, self transport.ProcessID) storage.Log
+	NewLog func(ring transport.RingID, self transport.ProcessID) (storage.Log, error)
 }
 
 // StoreCluster is a running MRP-Store deployment.
@@ -256,6 +258,7 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 		Checkpoints:     ckpt,
 		CheckpointEvery: c.opts.CheckpointEvery,
 		Ring:            c.opts.Ring,
+		Batch:           c.opts.Batch,
 		M:               c.opts.M,
 		GlobalLambda:    c.opts.GlobalLambda,
 	}
@@ -263,7 +266,7 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 		cfg.RecoveryTimeout = c.opts.RecoveryTimeout
 	}
 	if c.opts.NewLog != nil {
-		cfg.NewLog = func(ring transport.RingID) storage.Log {
+		cfg.NewLog = func(ring transport.RingID) (storage.Log, error) {
 			return c.opts.NewLog(ring, id)
 		}
 	}
@@ -354,11 +357,13 @@ type DLogOptions struct {
 	Global bool
 	// Ring tunes the consensus rings.
 	Ring core.RingOptions
+	// Batch bounds the delivery batches executed by each server.
+	Batch core.BatchOptions
 	// M is the deterministic merge quota.
 	M int
 	// NewAcceptorLog supplies per-ring acceptor logs (Figure 6: one disk
 	// per ring); nil = memory.
-	NewAcceptorLog func(ring transport.RingID, self transport.ProcessID) storage.Log
+	NewAcceptorLog func(ring transport.RingID, self transport.ProcessID) (storage.Log, error)
 	// NewDataDisk supplies the dLog entry store per server; nil = none
 	// (memory only).
 	NewDataDisk func(self transport.ProcessID) storage.Log
@@ -433,10 +438,10 @@ func (d *Deployment) StartDLog(opts DLogOptions) (*DLogCluster, error) {
 		sm := dlog.NewSM(dlog.SMConfig{Hosted: hosted, Disk: dataDisk, CacheLimit: opts.CacheLimit})
 		nodeCfg := core.Config{
 			Self: id, Router: router, Coord: d.Svc,
-			M: opts.M, Ring: opts.Ring,
+			M: opts.M, Ring: opts.Ring, Batch: opts.Batch,
 		}
 		if opts.NewAcceptorLog != nil {
-			nodeCfg.NewLog = func(ring transport.RingID) storage.Log {
+			nodeCfg.NewLog = func(ring transport.RingID) (storage.Log, error) {
 				return opts.NewAcceptorLog(ring, id)
 			}
 		}

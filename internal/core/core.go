@@ -22,11 +22,18 @@
 // instances (rate leveling, configured by Δ and λ); the merge layer
 // consumes skips silently, advancing the round-robin.
 //
-// Delivery is synchronous: Subscribe takes a handler invoked inline by the
-// merge goroutine. This makes checkpointing trivially consistent — inside
-// the handler, DeliveredVector and MergeCursor exactly describe the state
-// after the current delivery, which is what Section 5.2's tuple-identified
-// checkpoints require.
+// Delivery is synchronous and batch-at-a-time: SubscribeBatch takes a
+// handler invoked inline by the merge goroutine with a batch of
+// consecutive merged deliveries, so every layer above (SMR, MRP-Store,
+// dLog) amortizes its per-message lock, dispatch and allocation costs over
+// the batch. Batches are bounded by count and bytes (BatchOptions) and the
+// merge hands a batch over whenever it would otherwise block waiting for a
+// ring, so batching never adds latency. Checkpointing stays consistent:
+// DeliveredVector and MergeCursor are published together once per batch
+// and, inside the handler, exactly describe the state after the batch's
+// last delivery — which is what Section 5.2's tuple-identified checkpoints
+// require, now at batch boundaries. Subscribe remains as a thin
+// per-message adapter.
 package core
 
 import (
@@ -59,6 +66,30 @@ type Delivery struct {
 // Handler consumes deliveries in merged order. It runs on the merge
 // goroutine; blocking it back-pressures the whole subscription.
 type Handler func(Delivery)
+
+// BatchHandler consumes batches of deliveries in merged order. It runs on
+// the merge goroutine; blocking it back-pressures the whole subscription.
+// The slice is reused between calls — handlers must not retain it (the
+// payload bytes may be retained).
+type BatchHandler func([]Delivery)
+
+// BatchOptions bounds the delivery batches handed to batch subscribers.
+type BatchOptions struct {
+	// MaxMessages bounds application messages per batch (default 512).
+	MaxMessages int
+	// MaxBytes bounds cumulative payload bytes per batch (default 1 MB).
+	MaxBytes int
+}
+
+func (b BatchOptions) withDefaults() BatchOptions {
+	if b.MaxMessages <= 0 {
+		b.MaxMessages = 512
+	}
+	if b.MaxBytes <= 0 {
+		b.MaxBytes = 1 << 20
+	}
+	return b
+}
 
 // RingOptions tunes every ring this node participates in.
 type RingOptions struct {
@@ -94,13 +125,17 @@ type Config struct {
 	Coord *coord.Service
 	// NewLog builds the stable log for each ring this process accepts
 	// in. Figure 6 attaches one disk per ring through this hook.
-	// Defaults to in-memory logs.
-	NewLog func(transport.RingID) storage.Log
+	// Defaults to in-memory logs. An error fails the Join — durability
+	// requested but unavailable must not degrade silently.
+	NewLog func(transport.RingID) (storage.Log, error)
 	// M is the deterministic-merge quota: consensus instances delivered
 	// per ring per round-robin turn. The paper uses M=1.
 	M int
 	// Ring tunes the per-ring protocol.
 	Ring RingOptions
+	// Batch bounds the delivery batches handed to SubscribeBatch
+	// handlers.
+	Batch BatchOptions
 	// LambdaOverride raises or lowers the rate-leveling λ for specific
 	// rings (e.g. a global ring whose skip stream must outrun the
 	// partition rings so the deterministic merge never waits on it).
@@ -119,8 +154,9 @@ func (c *Config) withDefaults() Config {
 		out.M = 1
 	}
 	if out.NewLog == nil {
-		out.NewLog = func(transport.RingID) storage.Log { return storage.NewMemLog() }
+		out.NewLog = func(transport.RingID) (storage.Log, error) { return storage.NewMemLog(), nil }
 	}
+	out.Batch = out.Batch.withDefaults()
 	return out
 }
 
@@ -195,7 +231,10 @@ func (n *Node) Join(ringID transport.RingID) error {
 	}
 	var log storage.Log
 	if roles.Has(coord.RoleAcceptor) {
-		log = n.cfg.NewLog(ringID)
+		var err error
+		if log, err = n.cfg.NewLog(ringID); err != nil {
+			return fmt.Errorf("core: open stable log for ring %d: %w", ringID, err)
+		}
 	}
 	lambda := n.cfg.Ring.Lambda
 	if l, ok := n.cfg.LambdaOverride[ringID]; ok {
@@ -228,8 +267,38 @@ func (n *Node) Join(ringID transport.RingID) error {
 // Subscribe declares the set of groups this process delivers from and
 // starts the deterministic merge, invoking handler inline for every
 // delivered message. All groups must be joined with the learner role.
-// Subscribe may be called once.
+// Subscribe may be called once (and not combined with SubscribeBatch).
+//
+// Subscribe is a thin adapter over SubscribeBatch: the merge runs
+// batch-at-a-time underneath, so DeliveredVector/MergeCursor reflect the
+// current batch's last delivery, not the message in hand. Handlers that
+// checkpoint should use SubscribeBatch and checkpoint at batch boundaries.
 func (n *Node) Subscribe(handler Handler, groups ...transport.RingID) error {
+	if handler == nil {
+		return errors.New("core: nil delivery handler")
+	}
+	return n.SubscribeBatch(func(ds []Delivery) {
+		for _, d := range ds {
+			handler(d)
+		}
+	}, groups...)
+}
+
+// SubscribeBatch declares the set of groups this process delivers from and
+// starts the deterministic merge, invoking handler inline with batches of
+// consecutive merged deliveries. All groups must be joined with the
+// learner role. SubscribeBatch may be called once.
+//
+// Batches end at the configured count/byte bounds and whenever the merge
+// would block waiting for a ring, so delivery latency is never traded for
+// batch size. Bounds hold at consensus-instance granularity: an instance
+// is never split across batches (the delivered vector is per-instance),
+// so one message-packed instance may overshoot the bounds by its content.
+// DeliveredVector and MergeCursor are updated atomically per batch:
+// inside the handler they exactly describe the state after the batch's
+// last delivery, which is what Section 5.2's tuple-identified checkpoints
+// require.
+func (n *Node) SubscribeBatch(handler BatchHandler, groups ...transport.RingID) error {
 	if handler == nil {
 		return errors.New("core: nil delivery handler")
 	}
@@ -247,7 +316,7 @@ func (n *Node) Subscribe(handler Handler, groups ...transport.RingID) error {
 	set := make(map[transport.RingID]bool, len(groups))
 	sorted := append([]transport.RingID(nil), groups...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var chans []<-chan ring.Delivery
+	var srcs []*ringSource
 	for _, g := range sorted {
 		if set[g] {
 			return fmt.Errorf("core: duplicate group %d in subscription", g)
@@ -261,7 +330,7 @@ func (n *Node) Subscribe(handler Handler, groups ...transport.RingID) error {
 		if !rc.Roles(n.id).Has(coord.RoleLearner) {
 			return ErrNotSubscribed
 		}
-		chans = append(chans, rn.Deliveries())
+		srcs = append(srcs, &ringSource{rn: rn, ch: rn.DeliveryBatches()})
 		if _, ok := n.vector[g]; !ok {
 			n.vector[g] = n.cfg.StartVector[g]
 		}
@@ -283,80 +352,185 @@ func (n *Node) Subscribe(handler Handler, groups ...transport.RingID) error {
 	n.subscribed = sorted
 	n.cursor = cur
 	n.merging = true
-	go n.merge(sorted, chans, handler, cur.Clone())
+	go n.merge(sorted, srcs, handler, cur.Clone())
 	return nil
 }
 
-// merge implements the deterministic merge: round-robin over subscribed
-// rings in ascending ring-id order, consuming M consensus instances per
-// turn. Skip values advance the cursor without delivering. Credit from
-// skip ranges that overshoot a turn's quota carries over to later turns,
-// so all learners observe identical turn boundaries.
-func (n *Node) merge(groups []transport.RingID, chans []<-chan ring.Delivery, handler Handler, cur Cursor) {
+// ringSource adapts one ring's batch delivery channel into a pull
+// interface for the merge: it holds the in-progress batch and recycles
+// exhausted buffers back to the ring.
+type ringSource struct {
+	rn  *ring.Node
+	ch  <-chan []ring.Delivery
+	buf []ring.Delivery
+	idx int
+}
+
+// ready reports whether a delivery is available without blocking,
+// refilling from the channel opportunistically.
+func (s *ringSource) ready() bool {
+	if s.idx < len(s.buf) {
+		return true
+	}
+	s.recycle()
+	select {
+	case b, ok := <-s.ch:
+		if !ok {
+			return false
+		}
+		s.buf, s.idx = b, 0
+		return len(b) > 0
+	default:
+		return false
+	}
+}
+
+// refill blocks until a delivery is available; false means the ring
+// stopped or the node shut down.
+func (s *ringSource) refill(done <-chan struct{}) bool {
+	if s.idx < len(s.buf) {
+		return true
+	}
+	s.recycle()
+	select {
+	case b, ok := <-s.ch:
+		if !ok {
+			return false
+		}
+		s.buf, s.idx = b, 0
+		return len(b) > 0
+	case <-done:
+		return false
+	}
+}
+
+// next returns the current delivery and advances. Call only after ready or
+// refill returned true.
+func (s *ringSource) next() ring.Delivery {
+	d := s.buf[s.idx]
+	s.idx++
+	return d
+}
+
+// recycle hands an exhausted batch buffer back to the ring for reuse.
+func (s *ringSource) recycle() {
+	if s.buf != nil {
+		s.rn.ReleaseBatch(s.buf)
+		s.buf, s.idx = nil, 0
+	}
+}
+
+// merge implements the deterministic merge, batch-at-a-time: round-robin
+// over subscribed rings in ascending ring-id order, consuming M consensus
+// instances per turn. Skip values advance the cursor without delivering.
+// Credit from skip ranges that overshoot a turn's quota carries over to
+// later turns, so all learners observe identical turn boundaries.
+//
+// Deliveries accumulate into one output batch; the batch is flushed — the
+// delivered vector and cursor published under a single lock acquisition,
+// then the handler invoked — when it reaches the configured bounds or when
+// the merge would otherwise block waiting for a ring.
+func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler BatchHandler, cur Cursor) {
 	defer close(n.mergeDone)
+	defer func() {
+		for _, s := range srcs {
+			s.recycle()
+		}
+	}()
 	m := uint64(n.cfg.M)
+	maxMsgs := n.cfg.Batch.MaxMessages
+	maxBytes := n.cfg.Batch.MaxBytes
+	batch := make([]Delivery, 0, maxMsgs)
+	batchBytes := 0
+	high := make([]uint64, len(groups)) // delivered marks pending publication
+
+	flush := func() {
+		n.mu.Lock()
+		for idx, hi := range high {
+			if hi > n.vector[groups[idx]] {
+				n.vector[groups[idx]] = hi
+			}
+			high[idx] = 0
+		}
+		n.cursor = cur.Clone()
+		n.mu.Unlock()
+		if len(batch) > 0 {
+			n.delivered.Add(uint64(len(batch)))
+			handler(batch)
+			for idx := range batch {
+				batch[idx] = Delivery{} // release payload references
+			}
+			batch = batch[:0]
+			batchBytes = 0
+		}
+	}
+
 	for {
 		i := cur.Next
 		if cur.Remaining == 0 {
 			if cur.Credits[i] >= m {
 				cur.Credits[i] -= m
 				cur.Next = (i + 1) % len(groups)
-				n.storeCursor(cur)
 				continue
 			}
 			cur.Remaining = m - cur.Credits[i]
 			cur.Credits[i] = 0
 		}
 		for cur.Remaining > 0 {
-			var d ring.Delivery
-			var ok bool
-			select {
-			case d, ok = <-chans[i]:
-				if !ok {
-					return // ring stopped; shut down merge
+			if !srcs[i].ready() {
+				// About to block: hand over what we have so the
+				// subscriber is never idle while the merge waits.
+				flush()
+				if !srcs[i].refill(n.done) {
+					return // ring stopped or node shutting down
 				}
-			case <-n.done:
-				return
 			}
+			d := srcs[i].next()
 			span := d.Value.Span()
 			if span >= cur.Remaining {
 				cur.Credits[i] += span - cur.Remaining
 				cur.Remaining = 0
+				// Normalize so a snapshot taken at the flush resumes
+				// at the next group's turn.
+				cur.Next = (i + 1) % len(groups)
 			} else {
 				cur.Remaining -= span
 			}
-			end := d.Instance + span - 1
-			if cur.Remaining == 0 {
-				// Normalize so a snapshot taken now resumes at
-				// the next group's turn.
-				cur.Next = (i + 1) % len(groups)
+			if end := d.Instance + span - 1; end > high[i] {
+				high[i] = end
 			}
-			n.noteDelivered(groups[i], end, cur)
 			switch {
 			case d.Value.Skip:
 				// Rate-leveling filler: consumed silently.
 			case d.Value.Batched:
 				// Unpack message-packed proposals (one consensus
-				// instance, several application messages).
-				if sub, err := transport.DecodeBatch(d.Value.Data); err == nil {
-					for _, iv := range sub {
-						n.delivered.Add(1)
-						handler(Delivery{
-							Group:    groups[i],
-							Instance: d.Instance,
-							ValueID:  iv.Value.ID,
-							Data:     iv.Value.Data,
-						})
-					}
+				// instance, several application messages) in place,
+				// rolling back on a corrupt payload so a packed
+				// instance delivers all of its messages or none (as
+				// the pre-batching decode did).
+				mark, markBytes := len(batch), batchBytes
+				if err := transport.VisitBatch(d.Value.Data, func(iv transport.InstanceValue) {
+					batch = append(batch, Delivery{
+						Group:    groups[i],
+						Instance: d.Instance,
+						ValueID:  iv.Value.ID,
+						Data:     iv.Value.Data,
+					})
+					batchBytes += len(iv.Value.Data)
+				}); err != nil {
+					batch, batchBytes = batch[:mark], markBytes
 				}
 			default:
-				n.delivered.Add(1)
-				handler(Delivery{
+				batch = append(batch, Delivery{
 					Group:    groups[i],
 					Instance: d.Instance,
 					ValueID:  d.Value.ID,
 					Data:     d.Value.Data,
 				})
+				batchBytes += len(d.Value.Data)
+			}
+			if len(batch) >= maxMsgs || batchBytes >= maxBytes {
+				flush()
 			}
 			select {
 			case <-n.done:
@@ -365,23 +539,6 @@ func (n *Node) merge(groups []transport.RingID, chans []<-chan ring.Delivery, ha
 			}
 		}
 	}
-}
-
-// noteDelivered advances the delivered mark for a group and publishes the
-// cursor, so DeliveredVector/MergeCursor are consistent inside handlers.
-func (n *Node) noteDelivered(g transport.RingID, upTo uint64, cur Cursor) {
-	n.mu.Lock()
-	if upTo > n.vector[g] {
-		n.vector[g] = upTo
-	}
-	n.cursor = cur.Clone()
-	n.mu.Unlock()
-}
-
-func (n *Node) storeCursor(cur Cursor) {
-	n.mu.Lock()
-	n.cursor = cur.Clone()
-	n.mu.Unlock()
 }
 
 // DeliveredVector snapshots the per-group delivered instance high-water
@@ -400,6 +557,22 @@ func (n *Node) MergeCursor() Cursor {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.cursor.Clone()
+}
+
+// LimitBatch caps the number of messages per delivery batch. Call before
+// subscribing; replicas with periodic checkpoints use it so the
+// every-N-commands checkpoint cadence survives batch-at-a-time delivery
+// (a batch never spans more than one checkpoint interval). Values <= 0 and
+// values above the configured bound are ignored.
+func (n *Node) LimitBatch(maxMessages int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if maxMessages <= 0 || n.merging {
+		return
+	}
+	if maxMessages < n.cfg.Batch.MaxMessages {
+		n.cfg.Batch.MaxMessages = maxMessages
+	}
 }
 
 // Subscription returns the subscribed groups in ascending order (the

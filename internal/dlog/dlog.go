@@ -216,7 +216,10 @@ func NewSM(cfg SMConfig) *SM {
 	return sm
 }
 
-var _ smr.StateMachine = (*SM)(nil)
+var (
+	_ smr.StateMachine  = (*SM)(nil)
+	_ smr.BatchExecutor = (*SM)(nil)
+)
 
 // diskKey packs (log, position) into a storage key.
 func diskKey(l LogID, pos uint64) uint64 {
@@ -232,6 +235,23 @@ func (s *SM) Execute(_ transport.RingID, raw []byte) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.apply(op).Encode()
+}
+
+// ExecuteBatch applies a run of encoded operations under one lock
+// acquisition (batch-at-a-time delivery's entry point).
+func (s *SM) ExecuteBatch(_ []transport.RingID, ops [][]byte) [][]byte {
+	out := make([][]byte, len(ops))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, raw := range ops {
+		op, err := DecodeOp(raw)
+		if err != nil {
+			out[i] = Result{Status: StatusBadRequest}.Encode()
+			continue
+		}
+		out[i] = s.apply(op).Encode()
+	}
+	return out
 }
 
 func (s *SM) apply(op Op) Result {

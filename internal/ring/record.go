@@ -13,12 +13,21 @@ import (
 // The instance is redundant with the log key but keeps records
 // self-describing for offline inspection and WAL replay.
 
-// encodeAccept builds the durable record for a vote.
+// encodeAccept builds the durable record for a vote. The single-entry
+// batch is encoded in place: votes carry the full proposal payload (32 KB
+// packed instances), and an intermediate EncodeBatch buffer would double
+// the copy on every acceptor's hot path.
 func encodeAccept(ballot uint32, instance uint64, v transport.Value) []byte {
-	batch := transport.EncodeBatch([]transport.InstanceValue{{Instance: instance, Value: v}})
-	buf := make([]byte, 4, 4+len(batch))
-	binary.LittleEndian.PutUint32(buf[:4], ballot)
-	return append(buf, batch...)
+	buf := make([]byte, 0, 4+4+8+8+1+4+4+len(v.Data))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], ballot)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], 1) // batch length
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:8], instance)
+	buf = append(buf, tmp[:8]...)
+	buf = transport.AppendValue(buf, v)
+	return buf
 }
 
 // decodeAccept parses a record written by encodeAccept.

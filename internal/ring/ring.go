@@ -46,6 +46,11 @@ type Delivery struct {
 	Value    transport.Value
 }
 
+// deliveryBatchCap is the target size of one delivery batch: the learner
+// coalesces contiguous decided instances into batches of at most this many
+// entries before the batch channel send becomes blocking.
+const deliveryBatchCap = 256
+
 // Config configures a ring node.
 type Config struct {
 	// Ring is the ring (multicast group) identifier.
@@ -147,7 +152,16 @@ type Node struct {
 	watch       <-chan coord.RingConfig
 	cancelWatch func()
 
-	deliverCh chan Delivery
+	// deliverCh carries batches of contiguous decided instances; pending
+	// accumulates the next batch (run-loop owned) and batchFree recycles
+	// consumed batch buffers so the hot path does not allocate per batch.
+	deliverCh chan []Delivery
+	pending   []Delivery
+	batchFree chan []Delivery
+
+	// perMsgOnce/perMsgCh back the per-message Deliveries adapter.
+	perMsgOnce sync.Once
+	perMsgCh   chan Delivery
 
 	// mu guards rc (read by Propose from other goroutines).
 	mu sync.Mutex
@@ -210,7 +224,9 @@ func New(cfg Config) (*Node, error) {
 		in:           cfg.Router.Ring(cfg.Ring),
 		watch:        watch,
 		cancelWatch:  cancel,
-		deliverCh:    make(chan Delivery, cfg.DeliverBuffer),
+		deliverCh:    make(chan []Delivery, max(1, cfg.DeliverBuffer/deliveryBatchCap)),
+		pending:      make([]Delivery, 0, deliveryBatchCap),
+		batchFree:    make(chan []Delivery, 32),
 		inFlight:     make(map[uint64]*flight),
 		learned:      make(map[uint64]transport.Value),
 		nextDeliver:  max(1, cfg.StartInstance),
@@ -232,9 +248,73 @@ func New(cfg Config) (*Node, error) {
 // Ring returns the ring identifier.
 func (n *Node) Ring() transport.RingID { return n.ring }
 
+// DeliveryBatches returns the ordered stream of decided instances
+// (including skip markers) as batches of contiguous instances. Batches are
+// never empty and are closed when the node stops. Consumers should hand
+// exhausted batches back with ReleaseBatch so their buffers are reused.
+// At most one of DeliveryBatches and Deliveries may be consumed.
+func (n *Node) DeliveryBatches() <-chan []Delivery { return n.deliverCh }
+
+// ReleaseBatch returns a batch obtained from DeliveryBatches to the node's
+// buffer pool. The caller must not touch the slice afterwards; payload
+// bytes referenced by the entries are unaffected.
+func (n *Node) ReleaseBatch(b []Delivery) {
+	if cap(b) == 0 {
+		return
+	}
+	for i := range b {
+		b[i] = Delivery{} // drop payload references held by the pooled array
+	}
+	select {
+	case n.batchFree <- b[:0]:
+	default: // pool full; let the GC take it
+	}
+}
+
+// getBatch returns an empty batch buffer, reusing a released one if
+// available.
+func (n *Node) getBatch() []Delivery {
+	select {
+	case b := <-n.batchFree:
+		return b
+	default:
+		return make([]Delivery, 0, deliveryBatchCap)
+	}
+}
+
 // Deliveries returns the ordered stream of decided instances (including
-// skip markers). Closed when the node stops.
-func (n *Node) Deliveries() <-chan Delivery { return n.deliverCh }
+// skip markers), one message at a time. It adapts DeliveryBatches; use it
+// for tests and simple consumers, and the batch form on hot paths. At most
+// one of DeliveryBatches and Deliveries may be consumed.
+func (n *Node) Deliveries() <-chan Delivery {
+	n.perMsgOnce.Do(func() {
+		out := make(chan Delivery, n.cfg.DeliverBuffer)
+		n.perMsgCh = out
+		go func() {
+			defer close(out)
+			for batch := range n.deliverCh {
+				for _, d := range batch {
+					// Prefer forwarding: an actively draining consumer
+					// receives every buffered delivery even across
+					// Stop (as the plain buffered channel did); only a
+					// consumer that stopped reading is abandoned.
+					select {
+					case out <- d:
+						continue
+					default:
+					}
+					select {
+					case out <- d:
+					case <-n.done:
+						return
+					}
+				}
+				n.ReleaseBatch(batch)
+			}
+		}()
+	})
+	return n.perMsgCh
+}
 
 // Propose multicasts a value on this ring: the value is sent to the ring's
 // coordinator, which assigns it a consensus instance. Delivery is not

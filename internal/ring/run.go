@@ -32,22 +32,53 @@ func (n *Node) run() {
 	}
 
 	for {
+		// With deliveries pending and the channel previously full, arm a
+		// send case so the batch goes out the moment the consumer frees
+		// a slot — decided messages never wait for the next event or
+		// timer tick.
+		var flushC chan []Delivery
+		if len(n.pending) > 0 {
+			flushC = n.deliverCh
+		}
 		select {
+		case flushC <- n.pending:
+			n.pending = n.getBatch()
+			continue
 		case <-n.done:
+			n.flushBestEffort()
 			close(n.deliverCh)
 			return
 		case cfg, ok := <-n.watch:
 			if !ok {
+				n.flushFinal()
 				close(n.deliverCh)
 				return
 			}
 			n.applyConfig(cfg)
 		case m, ok := <-n.in:
 			if !ok {
+				n.flushFinal()
 				close(n.deliverCh)
 				return
 			}
 			n.handle(m)
+			// Drain whatever else already arrived before flushing, so
+			// one batch covers a burst of decisions instead of paying a
+			// channel send per message.
+		drain:
+			for drained := 0; drained < 128; drained++ {
+				select {
+				case m, more := <-n.in:
+					if !more {
+						n.flushFinal()
+						close(n.deliverCh)
+						return
+					}
+					n.handle(m)
+				default:
+					break drain
+				}
+			}
 		case <-retry.C:
 			n.retryUndecided()
 			n.chaseGaps()
@@ -56,6 +87,54 @@ func (n *Node) run() {
 		case <-trimC:
 			n.startTrimRound()
 		}
+		n.flushDeliveries()
+	}
+}
+
+// flushDeliveries hands the pending batch to the delivery channel with a
+// non-blocking send. If the channel is full the batch keeps accumulating
+// — amortizing channel operations while the consumer works through its
+// queue — and the run loop's armed send case delivers it the instant a
+// slot frees, so batching never strands a decided message. Backpressure
+// comes from learnDecision, which blocks once the pending batch reaches
+// its cap (as the per-message path blocked on a full channel).
+func (n *Node) flushDeliveries() {
+	if len(n.pending) == 0 {
+		return
+	}
+	select {
+	case n.deliverCh <- n.pending:
+		n.pending = n.getBatch()
+	default: // channel full: the run-loop send case retries
+	}
+}
+
+// flushFinal delivers the pending batch before the channel closes when the
+// input or watch channel ends. The send blocks (as the per-message path
+// blocked) so a live consumer receives every decision already handled;
+// Stop's done close releases the loop if the consumer is gone.
+func (n *Node) flushFinal() {
+	if len(n.pending) == 0 {
+		return
+	}
+	select {
+	case n.deliverCh <- n.pending:
+		n.pending = nil
+	case <-n.done:
+	}
+}
+
+// flushBestEffort is the explicit-Stop flush: done is already closed, so
+// hand over the pending batch only if the consumer has room (pending
+// deliveries may be lost on Stop, as documented).
+func (n *Node) flushBestEffort() {
+	if len(n.pending) == 0 {
+		return
+	}
+	select {
+	case n.deliverCh <- n.pending:
+		n.pending = nil
+	default:
 	}
 }
 
@@ -398,16 +477,21 @@ func (n *Node) learnDecision(inst uint64, v transport.Value) {
 			break
 		}
 		delete(n.learned, n.nextDeliver)
-		d := Delivery{Ring: n.ring, Instance: n.nextDeliver, Value: val}
 		n.decidedCount.Add(1)
 		if val.Skip {
 			n.skippedCount.Add(uint64(val.Span()))
 		}
 		if n.isLearner() {
-			select {
-			case n.deliverCh <- d:
-			case <-n.done:
-				return
+			n.pending = append(n.pending, Delivery{Ring: n.ring, Instance: n.nextDeliver, Value: val})
+			if len(n.pending) >= deliveryBatchCap {
+				// Full batch mid-drain (catch-up bursts): hand it over
+				// with backpressure before accumulating more.
+				select {
+				case n.deliverCh <- n.pending:
+					n.pending = n.getBatch()
+				case <-n.done:
+					return
+				}
 			}
 		}
 		n.nextDeliver += val.Span()

@@ -26,6 +26,15 @@ type StateMachine interface {
 	Restore(snapshot []byte) error
 }
 
+// BatchExecutor is an optional StateMachine extension: state machines
+// implement it to apply a run of operations under one internal
+// synchronization acquisition instead of per-operation. ExecuteBatch must
+// be equivalent to calling Execute for each (group, op) pair in order and
+// returning the responses positionally.
+type BatchExecutor interface {
+	ExecuteBatch(groups []transport.RingID, ops [][]byte) [][]byte
+}
+
 // ReplicaConfig configures a replica process.
 type ReplicaConfig struct {
 	// Self is this replica's process id.
@@ -65,14 +74,32 @@ type ReplicaConfig struct {
 // partition's groups, executes delivered commands, responds to clients,
 // checkpoints, answers the trim protocol and serves recovery RPCs.
 type Replica struct {
-	cfg ReplicaConfig
-	tr  transport.Transport
+	cfg     ReplicaConfig
+	tr      transport.Transport
+	batchSM BatchExecutor // non-nil when SM supports batch apply
 
-	mu        sync.Mutex
+	// mu guards safeVec, the only state shared with the service loop
+	// (trim and recovery RPCs). Everything below it is owned by the
+	// merge goroutine, so batch execution never holds a lock a service
+	// RPC could wait on.
+	mu      sync.Mutex
+	safeVec recovery.Vector // vector of the last durable checkpoint
+
+	// Merge-goroutine-owned execution state.
 	dedup     map[transport.ProcessID]*clientWindow // duplicate suppression
-	safeVec   recovery.Vector                       // vector of the last durable checkpoint
 	executed  uint64
 	sinceCkpt int
+
+	// Scratch buffers for batch execution, owned by the merge goroutine
+	// and reused across batches: the current run of dedup-cleared
+	// commands awaiting execution, and the batch's pending responses.
+	runGroups []transport.RingID
+	runOps    [][]byte
+	runWins   []*clientWindow
+	runSeqs   []uint64
+	runResp   []int // respBuf index whose Payload the run result fills
+	runKeys   map[cmdKey]struct{}
+	respBuf   []transport.Message
 
 	executedTotal atomic.Uint64
 	checkpoints   atomic.Uint64
@@ -80,6 +107,13 @@ type Replica struct {
 	done     chan struct{}
 	loopDone chan struct{}
 	stopOnce sync.Once
+}
+
+// cmdKey identifies a client command for duplicate detection within one
+// execution run.
+type cmdKey struct {
+	client transport.ProcessID
+	seq    uint64
 }
 
 // BuildNodeResult carries what BuildNode recovered.
@@ -254,46 +288,111 @@ func decodeStateCursor(state []byte) (core.Cursor, error) {
 // clientWindow tracks which of one client's command sequence numbers were
 // already executed. Commands from a single client can arrive out of order
 // across groups (different rings interleave), so a plain high-water mark is
-// not enough: floor covers the contiguous executed prefix and resp holds
-// out-of-order executed seqs with their cached responses for duplicate
-// re-replies.
+// not enough: floor covers the contiguous executed prefix, and executed
+// seqs above it sit in a fixed ring of slots indexed by seq — array reads
+// on the execution hot path where a map would pay a hash and probe per
+// command. Seqs evicted by a slot collision while still above the floor
+// (pathologically sparse clients) spill into an overflow map so duplicate
+// detection never silently forgets an executed command.
 type clientWindow struct {
-	floor uint64
-	resp  map[uint64][]byte
+	floor    uint64
+	seqs     []uint64 // seq held by each slot (0 = empty), indexed seq & mask
+	resp     [][]byte // cached response per slot, for duplicate re-replies
+	overflow map[uint64][]byte
 }
 
-// maxWindowEntries bounds per-client memory; beyond it, responses for
-// floor-covered seqs are dropped (dup detection via floor still works).
-const maxWindowEntries = 2048
+// Ring sizing (powers of two): windows double on slot collision up to
+// windowSlotsMax, beyond which collisions spill to the overflow map. The
+// floor also bounds cached-response retention — a floor-covered slot is
+// overwritten (without growing) once a newer congruent seq lands — so the
+// minimum is sized to keep re-replies for lost acks answering with the
+// real response for at least the last windowSlotsMin commands per client.
+const (
+	windowSlotsMin = 512
+	windowSlotsMax = 8192
+)
 
 func newClientWindow(floor uint64) *clientWindow {
-	return &clientWindow{floor: floor, resp: make(map[uint64][]byte)}
+	return &clientWindow{
+		floor: floor,
+		seqs:  make([]uint64, windowSlotsMin),
+		resp:  make([][]byte, windowSlotsMin),
+	}
+}
+
+// grow doubles the ring. Seqs present are distinct modulo the old size, so
+// they stay collision-free modulo the doubled size.
+func (w *clientWindow) grow() {
+	n := uint64(len(w.seqs)) * 2
+	seqs := make([]uint64, n)
+	resp := make([][]byte, n)
+	for j, s := range w.seqs {
+		if s != 0 {
+			seqs[s&(n-1)] = s
+			resp[s&(n-1)] = w.resp[j]
+		}
+	}
+	w.seqs, w.resp = seqs, resp
 }
 
 // check reports whether seq was executed; if it was, the cached response
-// (possibly nil if pruned) is returned.
+// (possibly nil if evicted) is returned.
 func (w *clientWindow) check(seq uint64) (dup bool, resp []byte) {
-	if seq <= w.floor {
-		return true, w.resp[seq]
+	i := seq & uint64(len(w.seqs)-1)
+	if w.seqs[i] == seq {
+		return true, w.resp[i]
 	}
-	r, ok := w.resp[seq]
-	return ok, r
+	if seq <= w.floor {
+		return true, w.overflow[seq]
+	}
+	if len(w.overflow) > 0 {
+		if r, ok := w.overflow[seq]; ok {
+			return true, r
+		}
+	}
+	return false, nil
 }
 
 // record marks seq executed with its response and advances the floor over
 // any now-contiguous prefix.
 func (w *clientWindow) record(seq uint64, resp []byte) {
-	w.resp[seq] = resp
-	for {
-		if _, ok := w.resp[w.floor+1]; !ok {
-			break
+	i := seq & uint64(len(w.seqs)-1)
+	for w.seqs[i] != 0 && w.seqs[i] > w.floor && w.seqs[i] != seq {
+		if len(w.seqs) < windowSlotsMax {
+			w.grow()
+			i = seq & uint64(len(w.seqs)-1)
+			continue
 		}
-		w.floor++
+		// Ring at capacity: spill the collision victim so the
+		// duplicate check still finds it.
+		if w.overflow == nil {
+			w.overflow = make(map[uint64][]byte)
+		}
+		w.overflow[w.seqs[i]] = w.resp[i]
+		break
 	}
-	if len(w.resp) > maxWindowEntries {
-		for s := range w.resp {
+	w.seqs[i], w.resp[i] = seq, resp
+	mask := uint64(len(w.seqs) - 1)
+	for {
+		next := (w.floor + 1) & mask
+		if w.seqs[next] == w.floor+1 {
+			w.floor++
+			continue
+		}
+		if len(w.overflow) > 0 {
+			if _, ok := w.overflow[w.floor+1]; ok {
+				delete(w.overflow, w.floor+1)
+				w.floor++
+				continue
+			}
+		}
+		break
+	}
+	if len(w.overflow) > 1024 {
+		// Rare: shed a pathological overflow's floor-covered entries.
+		for s := range w.overflow {
 			if s <= w.floor {
-				delete(w.resp, s)
+				delete(w.overflow, s)
 			}
 		}
 	}
@@ -338,9 +437,11 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 		tr:       cfg.Transport,
 		dedup:    make(map[transport.ProcessID]*clientWindow),
 		safeVec:  make(recovery.Vector),
+		runKeys:  make(map[cmdKey]struct{}),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	r.batchSM, _ = cfg.SM.(BatchExecutor)
 	if len(recovered.State) > 0 {
 		_, dedup, snap, err := decodeStateParts(recovered.State)
 		if err != nil {
@@ -365,71 +466,152 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 			return nil, fmt.Errorf("smr: join group %d: %w", g, err)
 		}
 	}
-	if err := cfg.Node.Subscribe(r.deliver, cfg.Groups...); err != nil {
+	// Keep the checkpoint cadence: one delivery batch must not span more
+	// than one checkpoint interval.
+	if cfg.CheckpointEvery > 0 {
+		cfg.Node.LimitBatch(cfg.CheckpointEvery)
+	}
+	if err := cfg.Node.SubscribeBatch(r.deliverBatch, cfg.Groups...); err != nil {
 		return nil, fmt.Errorf("smr: subscribe: %w", err)
 	}
 	go r.serviceLoop()
 	return r, nil
 }
 
-// deliver executes one command; it runs on the merge goroutine, so state
-// machine access is single-threaded.
-func (r *Replica) deliver(d core.Delivery) {
-	cmd, err := DecodeCommand(d.Data)
-	if err != nil {
-		return // not a command (foreign traffic on a shared group)
-	}
-	r.mu.Lock()
-	w := r.dedup[cmd.Client]
-	if w == nil {
-		w = newClientWindow(0)
-		r.dedup[cmd.Client] = w
-	}
-	dup, resp := w.check(cmd.Seq)
-	r.mu.Unlock()
+// deliverBatch executes one batch of delivered commands; it runs on the
+// merge goroutine, so state machine access is single-threaded and the
+// whole pass — duplicate suppression, execution (through the state
+// machine's batch entry point when it has one) and checkpoint accounting
+// — touches only merge-owned state, lock-free. Client responses are
+// flushed together after execution.
+func (r *Replica) deliverBatch(ds []core.Delivery) {
+	r.respBuf = r.respBuf[:0]
+	executed := 0
 
-	if !dup {
-		resp = r.cfg.SM.Execute(d.Group, cmd.Op)
-		r.mu.Lock()
-		w.record(cmd.Seq, resp)
-		r.executed++
-		r.sinceCkpt++
-		takeCkpt := r.cfg.CheckpointEvery > 0 && r.sinceCkpt >= r.cfg.CheckpointEvery
-		if takeCkpt {
-			r.sinceCkpt = 0
+	for _, d := range ds {
+		cmd, err := DecodeCommand(d.Data)
+		if err != nil {
+			continue // not a command (foreign traffic on a shared group)
 		}
-		r.mu.Unlock()
-		r.executedTotal.Add(1)
-		if takeCkpt {
-			r.checkpoint()
+		w := r.dedup[cmd.Client]
+		if w == nil {
+			w = newClientWindow(0)
+			r.dedup[cmd.Client] = w
+		}
+		key := cmdKey{cmd.Client, cmd.Seq}
+		if _, pending := r.runKeys[key]; pending {
+			// The same command appears twice in one batch: settle the
+			// run so the window exposes the first occurrence's result
+			// and the repeat is suppressed as the duplicate it is.
+			executed += r.flushRun()
+		}
+		dup, resp := w.check(cmd.Seq)
+		if dup {
+			r.appendResp(cmd, d.Group, resp)
+			continue
+		}
+		r.runKeys[key] = struct{}{}
+		r.runGroups = append(r.runGroups, d.Group)
+		r.runOps = append(r.runOps, cmd.Op)
+		r.runWins = append(r.runWins, w)
+		r.runSeqs = append(r.runSeqs, cmd.Seq)
+		r.runResp = append(r.runResp, r.appendResp(cmd, d.Group, nil))
+	}
+	executed += r.flushRun()
+	r.executed += uint64(executed)
+	r.sinceCkpt += executed
+	takeCkpt := r.cfg.CheckpointEvery > 0 && r.sinceCkpt >= r.cfg.CheckpointEvery
+	if takeCkpt {
+		// Carry the overshoot: a checkpoint is taken at the first
+		// batch boundary after each interval. One oversized batch
+		// (a packed instance can exceed LimitBatch) yields a single
+		// checkpoint — taking several at the same boundary would
+		// snapshot identical state.
+		r.sinceCkpt %= r.cfg.CheckpointEvery
+	}
+
+	if executed > 0 {
+		r.executedTotal.Add(uint64(executed))
+	}
+	// Checkpoint at the batch boundary: DeliveredVector/MergeCursor
+	// describe exactly the state after this batch (Section 5.2).
+	if takeCkpt {
+		r.checkpoint()
+	}
+	// Flush the batch's client responses. Ring carries the delivery
+	// group, Count the partition tag, so clients can both match
+	// single-group commands and count distinct partitions on
+	// multi-partition ones.
+	for i := range r.respBuf {
+		_ = r.tr.Send(r.respBuf[i].To, r.respBuf[i])
+		r.respBuf[i] = transport.Message{} // release payload references
+	}
+}
+
+// appendResp queues a client response for the batch flush and returns its
+// index in respBuf (-1 when the replica has no transport). The destination
+// rides in Message.To until Send stamps it.
+func (r *Replica) appendResp(cmd Command, group transport.RingID, payload []byte) int {
+	if r.tr == nil {
+		return -1
+	}
+	r.respBuf = append(r.respBuf, transport.Message{
+		Kind:    transport.KindResponse,
+		To:      cmd.Client,
+		Ring:    group,
+		Count:   uint32(r.cfg.Partition),
+		Seq:     cmd.Seq,
+		Payload: payload,
+	})
+	return len(r.respBuf) - 1
+}
+
+// flushRun executes the pending run of dedup-cleared commands — through
+// the state machine's batch entry point when available — records results
+// in the client windows and fills the queued responses. Runs on the merge
+// goroutine. Returns the number of commands executed.
+func (r *Replica) flushRun() int {
+	nrun := len(r.runOps)
+	if nrun == 0 {
+		return 0
+	}
+	if r.batchSM != nil && nrun > 1 {
+		for i, out := range r.batchSM.ExecuteBatch(r.runGroups, r.runOps) {
+			r.settleRun(i, out)
+		}
+	} else {
+		for i, op := range r.runOps {
+			r.settleRun(i, r.cfg.SM.Execute(r.runGroups[i], op))
 		}
 	}
-	if r.tr != nil {
-		// Ring carries the delivery group, Count the partition tag, so
-		// clients can both match single-group commands and count
-		// distinct partitions on multi-partition ones.
-		_ = r.tr.Send(cmd.Client, transport.Message{
-			Kind:    transport.KindResponse,
-			Ring:    d.Group,
-			Count:   uint32(r.cfg.Partition),
-			Seq:     cmd.Seq,
-			Payload: resp,
-		})
+	r.runGroups = r.runGroups[:0]
+	r.runOps = r.runOps[:0]
+	r.runWins = r.runWins[:0]
+	r.runSeqs = r.runSeqs[:0]
+	r.runResp = r.runResp[:0]
+	clear(r.runKeys)
+	return nrun
+}
+
+// settleRun records one run entry's execution result.
+func (r *Replica) settleRun(i int, out []byte) {
+	r.runWins[i].record(r.runSeqs[i], out)
+	if idx := r.runResp[i]; idx >= 0 {
+		r.respBuf[idx].Payload = out
 	}
 }
 
 // checkpoint snapshots the state machine with its identifying tuple and
-// merge cursor. Runs on the merge goroutine (inside deliver), so vector,
-// cursor and snapshot are mutually consistent (Section 5.2).
+// merge cursor. Runs on the merge goroutine at a batch boundary (inside
+// deliverBatch), so vector, cursor and snapshot are mutually consistent
+// (Section 5.2).
 func (r *Replica) checkpoint() {
 	if r.cfg.Checkpoints == nil {
 		return
 	}
 	vec := r.cfg.Node.DeliveredVector()
 	cur := r.cfg.Node.MergeCursor()
-	r.mu.Lock()
-	dedup := encodeDedup(r.dedup)
-	r.mu.Unlock()
+	dedup := encodeDedup(r.dedup) // merge-goroutine-owned state
 	state := encodeStateParts(cur, dedup, r.cfg.SM.Snapshot())
 	cp := recovery.Checkpoint{Vector: vec, State: state}
 	if err := r.cfg.Checkpoints.Save(cp); err != nil {

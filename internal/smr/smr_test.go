@@ -384,7 +384,7 @@ func TestTrimAfterCheckpoints(t *testing.T) {
 		logs[id] = log
 		node, err := core.New(core.Config{
 			Self: id, Router: router, Coord: svc,
-			NewLog: func(transport.RingID) storage.Log { return log },
+			NewLog: func(transport.RingID) (storage.Log, error) { return log, nil },
 			Ring:   core.RingOptions{RetryInterval: 30 * time.Millisecond, TrimInterval: 50 * time.Millisecond},
 		})
 		if err != nil {

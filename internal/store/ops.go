@@ -178,7 +178,10 @@ func decodeOp(buf []byte) (Op, []byte, error) {
 		return o, nil, transport.ErrShortMessage
 	}
 	if len(v) > 0 {
-		o.Value = append([]byte(nil), v...)
+		// Alias rather than copy: the state machine copies values it
+		// retains (treap puts), so the delivery hot path need not pay a
+		// defensive copy per operation.
+		o.Value = v
 	}
 	if len(buf) < 2 {
 		return o, nil, transport.ErrShortMessage
@@ -194,6 +197,26 @@ func decodeOp(buf []byte) (Op, []byte, error) {
 		o.Batch = append(o.Batch, sub)
 	}
 	return o, buf, nil
+}
+
+// statusEnc caches the encodings of entry-less results: the write hot path
+// (update/insert/delete) returns one per command, and encoding it fresh
+// would allocate inside the executor's critical section.
+var statusEnc [StatusBadRequest + 1][]byte
+
+func init() {
+	for s := StatusOK; s <= StatusBadRequest; s++ {
+		statusEnc[s] = Result{Status: s}.Encode()
+	}
+}
+
+// encodeResult serializes a result, reusing the cached encoding for
+// status-only results. The returned slice must be treated as read-only.
+func encodeResult(r Result) []byte {
+	if len(r.Entries) == 0 && len(r.Results) == 0 && r.Status >= StatusOK && r.Status <= StatusBadRequest {
+		return statusEnc[r.Status]
+	}
+	return r.Encode()
 }
 
 // Encode serializes a result.

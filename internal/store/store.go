@@ -29,7 +29,10 @@ func NewSM() *SM {
 	return &SM{db: newTreap()}
 }
 
-var _ smr.StateMachine = (*SM)(nil)
+var (
+	_ smr.StateMachine  = (*SM)(nil)
+	_ smr.BatchExecutor = (*SM)(nil)
+)
 
 // Execute applies one encoded operation.
 func (s *SM) Execute(_ transport.RingID, raw []byte) []byte {
@@ -39,7 +42,24 @@ func (s *SM) Execute(_ transport.RingID, raw []byte) []byte {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.apply(op).Encode()
+	return encodeResult(s.apply(op))
+}
+
+// ExecuteBatch applies a run of encoded operations under one lock
+// acquisition (batch-at-a-time delivery's entry point).
+func (s *SM) ExecuteBatch(_ []transport.RingID, ops [][]byte) [][]byte {
+	out := make([][]byte, len(ops))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, raw := range ops {
+		op, err := DecodeOp(raw)
+		if err != nil {
+			out[i] = encodeResult(Result{Status: StatusBadRequest})
+			continue
+		}
+		out[i] = encodeResult(s.apply(op))
+	}
+	return out
 }
 
 func (s *SM) apply(op Op) Result {
@@ -145,14 +165,17 @@ type ServerConfig struct {
 	// Router/Coord wire the process into the deployment.
 	Router *transport.Router
 	Coord  *coord.Service
-	// NewLog supplies acceptor logs (defaults to in-memory).
-	NewLog func(transport.RingID) storage.Log
+	// NewLog supplies acceptor logs (defaults to in-memory); an error
+	// fails server startup.
+	NewLog func(transport.RingID) (storage.Log, error)
 	// Checkpoints persists checkpoints; defaults to an in-memory store.
 	Checkpoints recovery.Store
 	// CheckpointEvery commands between checkpoints (0 disables).
 	CheckpointEvery int
 	// Ring tunes the consensus rings.
 	Ring core.RingOptions
+	// Batch bounds the delivery batches executed by the replica.
+	Batch core.BatchOptions
 	// M is the deterministic merge quota.
 	M int
 	// GlobalLambda overrides the rate-leveling λ on the global ring (0
@@ -193,6 +216,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			NewLog:         cfg.NewLog,
 			M:              cfg.M,
 			Ring:           cfg.Ring,
+			Batch:          cfg.Batch,
 			LambdaOverride: globalLambdaOverride(schema.GlobalGroup, cfg.GlobalLambda),
 		},
 		Store:   cfg.Checkpoints,

@@ -274,6 +274,20 @@ type InstanceValue struct {
 	Value    Value
 }
 
+// AppendValue appends one batch entry's value encoding (the per-entry
+// layout of EncodeBatch, after the instance) to buf.
+func AppendValue(buf []byte, v Value) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:8], v.ID)
+	buf = append(buf, tmp[:8]...)
+	buf = append(buf, v.flags())
+	binary.LittleEndian.PutUint32(tmp[:4], v.Count)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(v.Data)))
+	buf = append(buf, tmp[:4]...)
+	return append(buf, v.Data...)
+}
+
 // EncodeBatch encodes a retransmission batch into a payload.
 func EncodeBatch(batch []InstanceValue) []byte {
 	size := 4
@@ -287,29 +301,24 @@ func EncodeBatch(batch []InstanceValue) []byte {
 	for _, iv := range batch {
 		binary.LittleEndian.PutUint64(tmp[:8], iv.Instance)
 		buf = append(buf, tmp[:8]...)
-		binary.LittleEndian.PutUint64(tmp[:8], iv.Value.ID)
-		buf = append(buf, tmp[:8]...)
-		buf = append(buf, iv.Value.flags())
-		binary.LittleEndian.PutUint32(tmp[:4], iv.Value.Count)
-		buf = append(buf, tmp[:4]...)
-		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(iv.Value.Data)))
-		buf = append(buf, tmp[:4]...)
-		buf = append(buf, iv.Value.Data...)
+		buf = AppendValue(buf, iv.Value)
 	}
 	return buf
 }
 
-// DecodeBatch parses a payload produced by EncodeBatch.
-func DecodeBatch(buf []byte) ([]InstanceValue, error) {
+// VisitBatch parses a payload produced by EncodeBatch, calling fn for each
+// entry instead of materializing the batch slice — the delivery hot path
+// unpacks one message-packed instance per consensus decision and would
+// otherwise allocate per instance. Entries alias buf's storage.
+func VisitBatch(buf []byte, fn func(InstanceValue)) error {
 	if len(buf) < 4 {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	n := int(binary.LittleEndian.Uint32(buf[:4]))
 	buf = buf[4:]
-	batch := make([]InstanceValue, 0, n)
 	for i := 0; i < n; i++ {
 		if len(buf) < 8+8+1+4+4 {
-			return nil, ErrShortMessage
+			return ErrShortMessage
 		}
 		var iv InstanceValue
 		iv.Instance = binary.LittleEndian.Uint64(buf[:8])
@@ -320,13 +329,27 @@ func DecodeBatch(buf []byte) ([]InstanceValue, error) {
 		dataLen := int(binary.LittleEndian.Uint32(buf[21:25]))
 		buf = buf[25:]
 		if len(buf) < dataLen {
-			return nil, ErrShortMessage
+			return ErrShortMessage
 		}
 		if dataLen > 0 {
 			iv.Value.Data = buf[:dataLen]
 		}
 		buf = buf[dataLen:]
+		fn(iv)
+	}
+	return nil
+}
+
+// DecodeBatch parses a payload produced by EncodeBatch.
+func DecodeBatch(buf []byte) ([]InstanceValue, error) {
+	var batch []InstanceValue
+	if len(buf) >= 4 {
+		batch = make([]InstanceValue, 0, int(binary.LittleEndian.Uint32(buf[:4])))
+	}
+	if err := VisitBatch(buf, func(iv InstanceValue) {
 		batch = append(batch, iv)
+	}); err != nil {
+		return nil, err
 	}
 	return batch, nil
 }

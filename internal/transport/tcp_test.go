@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"encoding/binary"
+	"net"
 	"testing"
 	"time"
 )
@@ -135,4 +137,124 @@ func TestTCPPeerRestart(t *testing.T) {
 		}
 	}
 	t.Fatal("message never delivered after peer restart")
+}
+
+// dialRaw opens a raw client connection to node n, completing the
+// identification handshake as peer id.
+func dialRaw(t *testing.T, n *TCPNode, id ProcessID) net.Conn {
+	t.Helper()
+	raw, err := net.DialTimeout("tcp", n.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(id))
+	if _, err := raw.Write(hello[:]); err != nil {
+		_ = raw.Close()
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestTCPOversizedFrameRejected feeds a frame whose length prefix exceeds
+// maxFrame: the reader must drop the connection instead of allocating the
+// claimed size, and the node must keep serving other connections.
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+
+	evil := dialRaw(t, a, 66)
+	defer func() { _ = evil.Close() }()
+	var header [4]byte
+	binary.LittleEndian.PutUint32(header[:], maxFrame+1)
+	if _, err := evil.Write(header[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The reader closes the connection without consuming a body.
+	_ = evil.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := evil.Read(header[:]); err == nil {
+		t.Error("oversized frame did not close the connection")
+	}
+
+	// Zero-length frames are rejected the same way.
+	evil2 := dialRaw(t, a, 67)
+	defer func() { _ = evil2.Close() }()
+	binary.LittleEndian.PutUint32(header[:], 0)
+	if _, err := evil2.Write(header[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = evil2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := evil2.Read(header[:]); err == nil {
+		t.Error("zero-length frame did not close the connection")
+	}
+
+	// The node still accepts well-formed traffic afterwards.
+	good := dialRaw(t, a, 3)
+	defer func() { _ = good.Close() }()
+	m := Message{Kind: KindCommand, Seq: 99}
+	frame := make([]byte, 4, 4+m.EncodedSize())
+	frame = m.AppendEncode(frame)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	if _, err := good.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, a, 2*time.Second); got.Seq != 99 {
+		t.Errorf("post-rejection message seq = %d, want 99", got.Seq)
+	}
+}
+
+// TestTCPCorruptFrameClosesConnection sends a frame whose body does not
+// decode: the reader drops the connection rather than delivering garbage.
+func TestTCPCorruptFrameClosesConnection(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	c := dialRaw(t, a, 68)
+	defer func() { _ = c.Close() }()
+	var header [4]byte
+	binary.LittleEndian.PutUint32(header[:], 3)
+	if _, err := c.Write(append(header[:], 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(header[:]); err == nil {
+		t.Error("corrupt frame did not close the connection")
+	}
+}
+
+// TestTCPRedialAfterDrop exercises the Send-side redial path: after the
+// peer's connection drops mid-stream, a later Send establishes a fresh
+// connection transparently.
+func TestTCPRedialAfterDrop(t *testing.T) {
+	a, b := newTCPPair(t)
+	if err := a.Send(2, Message{Kind: KindCommand, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 2*time.Second)
+
+	// Kill b's inbound connections out from under a.
+	b.mu.Lock()
+	for id, c := range b.conns {
+		_ = c.c.Close()
+		delete(b.conns, id)
+	}
+	b.mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_ = a.Send(2, Message{Kind: KindCommand, Seq: 2})
+		select {
+		case m, ok := <-b.Recv():
+			if ok && m.Seq == 2 {
+				return
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	t.Fatal("message never delivered after connection drop")
 }
