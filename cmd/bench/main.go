@@ -34,7 +34,8 @@ func run() error {
 	fig := flag.String("fig", "", "figure to regenerate: 3,4,5,6,7,8 or 'all'")
 	ablation := flag.String("ablation", "", "ablation to run: merge-m, skip, batch, global-ring or 'all'")
 	delivery := flag.Bool("delivery", false, "run the delivery-pipeline benchmark (per-message vs batched)")
-	deliveryJSON := flag.String("json", "", "write the delivery benchmark result to this JSON file")
+	ioBench := flag.Bool("io", false, "run the acceptor I/O benchmark (per-put fsync vs group commit)")
+	benchJSON := flag.String("json", "", "write the -delivery or -io benchmark result to this JSON file")
 	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
@@ -49,12 +50,18 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" && !*delivery {
+	if *fig == "" && *ablation == "" && !*delivery && !*ioBench {
 		flag.Usage()
-		return fmt.Errorf("pass -fig, -ablation or -delivery")
+		return fmt.Errorf("pass -fig, -ablation, -delivery or -io")
 	}
-	if !*delivery && (*deliveryJSON != "" || *seedBaseline > 0) {
-		return fmt.Errorf("-json and -seed-baseline apply to the -delivery benchmark only")
+	if *delivery && *ioBench && *benchJSON != "" {
+		return fmt.Errorf("-json targets one benchmark; pass -delivery or -io, not both")
+	}
+	if !*delivery && !*ioBench && *benchJSON != "" {
+		return fmt.Errorf("-json applies to the -delivery and -io benchmarks only")
+	}
+	if !*delivery && *seedBaseline > 0 {
+		return fmt.Errorf("-seed-baseline applies to the -delivery benchmark only")
 	}
 
 	if *delivery {
@@ -71,11 +78,24 @@ func run() error {
 			res.SpeedupVsSeed = res.Batched.MsgsPerS / *seedBaseline
 			fmt.Printf("speedup vs seed baseline: %.2fx\n", res.SpeedupVsSeed)
 		}
-		if *deliveryJSON != "" {
-			if err := res.WriteJSON(*deliveryJSON); err != nil {
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", *deliveryJSON)
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+	}
+
+	if *ioBench {
+		res, err := bench.IOBench(o)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
 		}
 	}
 

@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"amcast/internal/cluster"
+	"amcast/internal/coord"
+	"amcast/internal/core"
+	"amcast/internal/netem"
+	"amcast/internal/storage"
+	"amcast/internal/transport"
+)
+
+// IORow is one acceptor-log I/O configuration's measurement.
+type IORow struct {
+	Mode string `json:"mode"`
+	// AcceptsPerS is durable vote records per wall-clock second.
+	AcceptsPerS float64 `json:"accepts_per_s"`
+	Accepts     uint64  `json:"accepts"`
+	// Fsyncs is write barriers issued over the window; per-put mode pays
+	// one per accept, group commit one per batch.
+	Fsyncs          uint64  `json:"fsyncs"`
+	FsyncsPerAccept float64 `json:"fsyncs_per_accept"`
+	// MeanBatch is the average records per commit (1 for per-put).
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// IORingRow corroborates the microbenchmark on the real acceptor hot
+// path: a ring over FileWAL acceptors with the staged group-commit
+// pipeline, reporting the coordinator's vote-log rate and batch shapes.
+type IORingRow struct {
+	AcceptsPerS     float64 `json:"accepts_per_s"`
+	Accepts         uint64  `json:"accepts"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	FsyncsPerAccept float64 `json:"fsyncs_per_accept"`
+	// MeanWALBatch is records per Log.PutBatch staged by the run loop.
+	MeanWALBatch float64 `json:"mean_wal_batch"`
+	// MeanSendBatch is messages per coalesced transport flush.
+	MeanSendBatch float64 `json:"mean_send_batch"`
+}
+
+// IOResult aggregates the acceptor I/O comparison (cmd/bench -io).
+type IOResult struct {
+	Workload  string  `json:"workload"`
+	DurationS float64 `json:"duration_s"`
+	// PerPut commits every vote with its own flush + fsync — the seed's
+	// acceptor behaviour under SyncEveryPut.
+	PerPut IORow `json:"per_put_fsync"`
+	// GroupCommit commits one drained burst per flush + fsync.
+	GroupCommit IORow `json:"group_commit"`
+	// Speedup is group-commit accepts/s over per-put accepts/s.
+	Speedup float64 `json:"speedup"`
+	// Ring is the end-to-end corroboration over a live ring (group
+	// commit only; the per-message path no longer exists in-tree).
+	Ring *IORingRow `json:"ring_group_commit,omitempty"`
+}
+
+// ioBurst is the group-commit batch size, matching the ring run loop's
+// drain bound (one commit covers at most 1+128 handled messages).
+const ioBurst = 128
+
+// ioRecordBytes approximates one Phase 2 vote record for a small command:
+// accept framing plus a ~200 B payload.
+const ioRecordBytes = 220
+
+// IOBench measures the acceptor vote log under SyncEveryPut — the paper's
+// synchronous disk mode (Section 6.4 / Figure 7 durability) — comparing
+// the seed's per-put fsync against group commit on the same host and
+// filesystem, then corroborates on a live ring with FileWAL acceptors.
+func IOBench(o Options) (IOResult, error) {
+	o = o.withDefaults()
+	o.header("Acceptor I/O", "per-put fsync vs group commit, SyncEveryPut vote log")
+	o.printf("%-14s %14s %10s %12s %10s\n", "mode", "accepts/s", "fsyncs", "fsync/accept", "batch")
+
+	res := IOResult{
+		Workload:  fmt.Sprintf("SyncEveryPut FileWAL, %d B vote records; group commit in bursts of %d (the run-loop drain bound); ring row: 2 FileWAL acceptors, open-loop proposers, packing off", ioRecordBytes, ioBurst),
+		DurationS: o.Duration.Seconds(),
+	}
+	perPut, err := ioWALRun(o, false)
+	if err != nil {
+		return res, err
+	}
+	res.PerPut = perPut
+	groupCommit, err := ioWALRun(o, true)
+	if err != nil {
+		return res, err
+	}
+	res.GroupCommit = groupCommit
+	for _, row := range []IORow{res.PerPut, res.GroupCommit} {
+		o.printf("%-14s %14.0f %10d %12.3f %10.1f\n",
+			row.Mode, row.AcceptsPerS, row.Fsyncs, row.FsyncsPerAccept, row.MeanBatch)
+	}
+	if res.PerPut.AcceptsPerS > 0 {
+		res.Speedup = res.GroupCommit.AcceptsPerS / res.PerPut.AcceptsPerS
+	}
+	o.printf("speedup: %.2fx\n", res.Speedup)
+
+	ring, err := ioRingRun(o)
+	if err != nil {
+		return res, err
+	}
+	res.Ring = &ring
+	o.printf("ring (group commit): %.0f accepts/s, %.3f fsync/accept, wal batch %.1f, send batch %.1f\n",
+		ring.AcceptsPerS, ring.FsyncsPerAccept, ring.MeanWALBatch, ring.MeanSendBatch)
+	return res, nil
+}
+
+// WriteJSON writes the result snapshot (for the CI trajectory).
+func (r IOResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ioWALRun drives one FileWAL for o.Duration, per-put or batched.
+func ioWALRun(o Options, group bool) (IORow, error) {
+	dir, err := os.MkdirTemp("", "amcast-iobench-*")
+	if err != nil {
+		return IORow{}, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	wal, err := storage.OpenWAL(dir, storage.WALOptions{Mode: storage.SyncEveryPut})
+	if err != nil {
+		return IORow{}, err
+	}
+	defer func() { _ = wal.Close() }()
+
+	rec := make([]byte, ioRecordBytes)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	row := IORow{Mode: "per-put-fsync"}
+	if group {
+		row.Mode = "group-commit"
+	}
+	var (
+		inst     uint64
+		accepts  uint64
+		deadline = time.Now().Add(o.Duration)
+	)
+	start := time.Now()
+	if group {
+		batch := make([]storage.Record, ioBurst)
+		for i := range batch {
+			batch[i].Data = make([]byte, ioRecordBytes)
+			copy(batch[i].Data, rec)
+		}
+		for time.Now().Before(deadline) {
+			for i := range batch {
+				inst++
+				batch[i].Instance = inst
+				binary.LittleEndian.PutUint64(batch[i].Data[:8], inst)
+			}
+			if err := wal.PutBatch(batch); err != nil {
+				return row, err
+			}
+			accepts += uint64(len(batch))
+		}
+	} else {
+		for time.Now().Before(deadline) {
+			for i := 0; i < 32; i++ {
+				inst++
+				binary.LittleEndian.PutUint64(rec[:8], inst)
+				if err := wal.Put(inst, rec); err != nil {
+					return row, err
+				}
+				accepts++
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	row.Accepts = accepts
+	row.AcceptsPerS = float64(accepts) / elapsed
+	row.Fsyncs = wal.Fsyncs()
+	if accepts > 0 {
+		row.FsyncsPerAccept = float64(row.Fsyncs) / float64(accepts)
+	}
+	row.MeanBatch = 1
+	if group {
+		row.MeanBatch = wal.BatchGauge().Mean()
+	}
+	if accepts == 0 {
+		return row, fmt.Errorf("bench: io %s wrote nothing", row.Mode)
+	}
+	return row, nil
+}
+
+// ioRingRun measures the live acceptor hot path: a two-acceptor ring whose
+// votes land in SyncEveryPut FileWALs through the run loop's staged group
+// commit, driven by open-loop proposers with message packing off (as the
+// paper's synchronous-disk experiments run).
+func ioRingRun(o Options) (IORingRow, error) {
+	dir, err := os.MkdirTemp("", "amcast-ioring-*")
+	if err != nil {
+		return IORingRow{}, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	net := transport.NewNetwork(nil)
+	defer net.Close()
+	svc := coord.NewService()
+	members := []coord.Member{
+		{ID: 1, Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner},
+		{ID: 2, Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner},
+	}
+	if err := svc.CreateRing(1, members); err != nil {
+		return IORingRow{}, err
+	}
+
+	// Capture the coordinator's WAL so fsyncs can be read directly.
+	var mu sync.Mutex
+	wals := make(map[transport.ProcessID]*storage.FileWAL)
+	factory := cluster.FileWALFactory(dir, storage.WALOptions{Mode: storage.SyncEveryPut})
+	nodes := make([]*core.Node, 0, 2)
+	for id := transport.ProcessID(1); id <= 2; id++ {
+		self := id
+		router := transport.NewRouter(net.Attach(self, netem.SiteLocal))
+		node, err := core.New(core.Config{
+			Self:   self,
+			Router: router,
+			Coord:  svc,
+			Ring:   core.RingOptions{RetryInterval: 100 * time.Millisecond, Window: 256},
+			NewLog: func(ring transport.RingID) (storage.Log, error) {
+				log, err := factory(ring, self)
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				wals[self] = log.(*storage.FileWAL)
+				mu.Unlock()
+				return log, nil
+			},
+		})
+		if err != nil {
+			return IORingRow{}, err
+		}
+		defer node.Stop()
+		if err := node.Join(1); err != nil {
+			return IORingRow{}, err
+		}
+		// Drain deliveries so backpressure never stalls the ring.
+		if err := node.SubscribeBatch(func([]core.Delivery) {}, 1); err != nil {
+			return IORingRow{}, err
+		}
+		nodes = append(nodes, node)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := 0; t < 4; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			payload := make([]byte, ioRecordBytes-32)
+			binary.LittleEndian.PutUint32(payload[:4], uint32(t))
+			sent := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sent++
+				if sent%64 == 0 {
+					// Self-clock against deliveries so the coordinator
+					// never sheds.
+					for sent > nodes[0].DeliveredCount()/4+2048 {
+						select {
+						case <-stop:
+							return
+						case <-time.After(500 * time.Microsecond):
+						}
+					}
+				}
+				if err := nodes[t%2].Multicast(1, payload); err != nil {
+					return
+				}
+			}
+		}(t)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	mu.Lock()
+	wal := wals[1]
+	mu.Unlock()
+	if wal == nil {
+		close(stop)
+		wg.Wait()
+		return IORingRow{}, fmt.Errorf("bench: coordinator WAL not opened")
+	}
+	walGauge, sendGauge := nodes[0].RingIOGauges(1)
+	startBatches, startItems, _ := walGauge.Snapshot()
+	startSendBatches, startSendItems, _ := sendGauge.Snapshot()
+	startFsyncs := wal.Fsyncs()
+	start := time.Now()
+	time.Sleep(o.Duration)
+	elapsed := time.Since(start).Seconds()
+	endBatches, endItems, _ := walGauge.Snapshot()
+	endSendBatches, endSendItems, _ := sendGauge.Snapshot()
+	endFsyncs := wal.Fsyncs()
+	close(stop)
+	wg.Wait()
+
+	row := IORingRow{
+		Accepts:     endItems - startItems,
+		Fsyncs:      endFsyncs - startFsyncs,
+		AcceptsPerS: float64(endItems-startItems) / elapsed,
+	}
+	if row.Accepts > 0 {
+		row.FsyncsPerAccept = float64(row.Fsyncs) / float64(row.Accepts)
+	}
+	if b := endBatches - startBatches; b > 0 {
+		row.MeanWALBatch = float64(endItems-startItems) / float64(b)
+	}
+	if b := endSendBatches - startSendBatches; b > 0 {
+		row.MeanSendBatch = float64(endSendItems-startSendItems) / float64(b)
+	}
+	if row.Accepts == 0 {
+		return row, fmt.Errorf("bench: io ring accepted nothing")
+	}
+	return row, nil
+}

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,18 @@ const GlobalRing transport.RingID = 1000
 // (1-based).
 func ReplicaID(p, r int) transport.ProcessID {
 	return transport.ProcessID(p*100 + r)
+}
+
+// FileWALFactory returns a NewLog function that opens one FileWAL per
+// (ring, process) under dir — real durable acceptor logs for deployments
+// that exercise crash recovery or disk-bound throughput (the io bench),
+// where the in-memory default would hide the cost being measured. Each log
+// lives in dir/ring<R>-p<P>, so a restarted process recovers its own votes
+// by replaying the same directory.
+func FileWALFactory(dir string, opts storage.WALOptions) func(ring transport.RingID, self transport.ProcessID) (storage.Log, error) {
+	return func(ring transport.RingID, self transport.ProcessID) (storage.Log, error) {
+		return storage.OpenWAL(filepath.Join(dir, fmt.Sprintf("ring%d-p%d", ring, self)), opts)
+	}
 }
 
 // Deployment owns the emulated network and coordination service.

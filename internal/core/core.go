@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"amcast/internal/coord"
+	"amcast/internal/metrics"
 	"amcast/internal/recovery"
 	"amcast/internal/ring"
 	"amcast/internal/storage"
@@ -618,6 +619,19 @@ func (n *Node) Multicast(group transport.RingID, data []byte) error {
 
 // DeliveredCount reports the number of application messages delivered.
 func (n *Node) DeliveredCount() uint64 { return n.delivered.Load() }
+
+// RingIOGauges returns a joined ring's group-commit instrumentation (WAL
+// batch and staged-send batch size distributions), or nils if the process
+// has not joined the ring.
+func (n *Node) RingIOGauges(ringID transport.RingID) (wal, send *metrics.BatchGauge) {
+	n.mu.Lock()
+	rn := n.rings[ringID]
+	n.mu.Unlock()
+	if rn == nil {
+		return nil, nil
+	}
+	return rn.IOGauges()
+}
 
 // Stop shuts down the merge and every joined ring.
 func (n *Node) Stop() {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"amcast/internal/coord"
+	"amcast/internal/metrics"
 	"amcast/internal/storage"
 	"amcast/internal/transport"
 )
@@ -174,7 +175,7 @@ type Node struct {
 	ballot        uint32
 	promised      uint32
 	nextInstance  uint64
-	pendingQ      []transport.Value
+	pendingQ      proposalQueue
 	inFlight      map[uint64]*flight
 	proposedInWin int
 
@@ -184,6 +185,28 @@ type Node struct {
 	idleTicks   int // retry ticks since the learner last made progress
 
 	accepted map[uint64]acceptedRec
+	// acceptedIdx keeps the keys of accepted sorted so Phase 1A report
+	// walks visit only instances >= the scan point instead of the whole
+	// map.
+	acceptedIdx []uint64
+
+	// Group-commit staging (run-loop owned): handlers append durable
+	// votes to walBatch and outbound messages to stagedSends; at the end
+	// of each drained burst commitStaged issues one Log.PutBatch — one
+	// buffered write + one fsync for the burst under SyncEveryPut — and
+	// only then releases the staged sends, preserving the paper's "log
+	// before forward" invariant (Section 5.1) at batch granularity.
+	walBatch    []storage.Record
+	stagedSends []transport.Message
+	batchTr     transport.BatchSender // non-nil when tr coalesces writes
+	// commitWedged is set while a group commit has failed and its batch
+	// is retained for retry: sends were dropped and delivery release is
+	// withheld until the log accepts the batch, so neither messages nor
+	// deliveries ever outrun durability.
+	commitWedged bool
+
+	walGauge  metrics.BatchGauge
+	sendGauge metrics.BatchGauge
 
 	safeResps map[transport.ProcessID]uint64
 	lastTrim  uint64
@@ -236,13 +259,23 @@ func New(cfg Config) (*Node, error) {
 		done:         make(chan struct{}),
 		loopDone:     make(chan struct{}),
 	}
+	n.batchTr, _ = n.tr.(transport.BatchSender)
 	// Recover durable acceptor state and apply the initial configuration
 	// before accepting traffic, so proposals arriving immediately after
-	// startup find the coordinator role already established.
+	// startup find the coordinator role already established. Anything
+	// staged here (a coordinator's initial Phase 1A) is committed by the
+	// run loop before it first blocks.
 	n.recoverFromLog()
 	n.applyConfig(rc)
 	go n.run()
 	return n, nil
+}
+
+// IOGauges returns the node's group-commit instrumentation: the size
+// distribution of WAL batches (records per PutBatch) and of staged send
+// batches (messages per transport flush).
+func (n *Node) IOGauges() (wal, send *metrics.BatchGauge) {
+	return &n.walGauge, &n.sendGauge
 }
 
 // Ring returns the ring identifier.

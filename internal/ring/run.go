@@ -1,14 +1,22 @@
 package ring
 
 import (
+	"sort"
 	"time"
 
 	"amcast/internal/coord"
+	"amcast/internal/storage"
 	"amcast/internal/transport"
 )
 
 // run is the node's single event loop: it owns all protocol state, so no
 // handler needs locking beyond the rc snapshot shared with Propose.
+//
+// Handlers do not write the log or the network directly: they stage
+// durability into walBatch and output into stagedSends, and the loop
+// commits both once per drained burst (commitStaged) — one group-commit
+// fsync and one coalesced transport flush instead of a write barrier and
+// a syscall per message.
 func (n *Node) run() {
 	defer close(n.loopDone)
 
@@ -31,13 +39,17 @@ func (n *Node) run() {
 		trimC = t.C
 	}
 
+	// New may have staged work (a coordinator's startup Phase 1A);
+	// release it before first blocking.
+	n.commitStaged()
+
 	for {
 		// With deliveries pending and the channel previously full, arm a
 		// send case so the batch goes out the moment the consumer frees
 		// a slot — decided messages never wait for the next event or
 		// timer tick.
 		var flushC chan []Delivery
-		if len(n.pending) > 0 {
+		if len(n.pending) > 0 && !n.commitWedged {
 			flushC = n.deliverCh
 		}
 		select {
@@ -45,11 +57,13 @@ func (n *Node) run() {
 			n.pending = n.getBatch()
 			continue
 		case <-n.done:
+			n.commitStaged()
 			n.flushBestEffort()
 			close(n.deliverCh)
 			return
 		case cfg, ok := <-n.watch:
 			if !ok {
+				n.commitStaged()
 				n.flushFinal()
 				close(n.deliverCh)
 				return
@@ -57,19 +71,22 @@ func (n *Node) run() {
 			n.applyConfig(cfg)
 		case m, ok := <-n.in:
 			if !ok {
+				n.commitStaged()
 				n.flushFinal()
 				close(n.deliverCh)
 				return
 			}
 			n.handle(m)
-			// Drain whatever else already arrived before flushing, so
-			// one batch covers a burst of decisions instead of paying a
-			// channel send per message.
+			// Drain whatever else already arrived before committing, so
+			// one WAL group commit and one coalesced transport flush
+			// cover a burst of messages instead of paying a write
+			// barrier and a syscall per message.
 		drain:
 			for drained := 0; drained < 128; drained++ {
 				select {
 				case m, more := <-n.in:
 					if !more {
+						n.commitStaged()
 						n.flushFinal()
 						close(n.deliverCh)
 						return
@@ -87,8 +104,70 @@ func (n *Node) run() {
 		case <-trimC:
 			n.startTrimRound()
 		}
+		// Commit the burst's staged votes and sends before handing
+		// deliveries over: a delivery must never outrun the durability
+		// of the votes that decided it.
+		n.commitStaged()
 		n.flushDeliveries()
 	}
+}
+
+// commitStaged is the group-commit barrier at the end of a drained burst:
+// it makes the burst's staged votes durable with a single PutBatch (one
+// buffered write + one fsync under SyncEveryPut) and only then releases
+// the staged outbound messages, so every forwarded vote is durable first
+// — the paper's Section 5.1 invariant at batch granularity. If the log
+// rejects the batch the staged sends are dropped entirely (un-logged
+// votes must not circulate; fair-lossy links make dropped messages
+// indistinguishable from loss) and commitWedged holds back delivery
+// release until the retained batch eventually commits.
+func (n *Node) commitStaged() {
+	if len(n.walBatch) > 0 {
+		if err := n.cfg.Log.PutBatch(n.walBatch); err != nil {
+			// Durability failed. Drop the staged sends — un-logged votes
+			// must not circulate — but KEEP the staged records: the
+			// volatile accepted map already holds these votes and later
+			// Phase 1A reports will advertise them, so they must stay
+			// queued for the next commit attempt rather than be silently
+			// forgotten while the node keeps acting on them. A log that
+			// fails persistently wedges this acceptor's output (sends
+			// dropped, deliveries withheld) and grows the retained
+			// batch and pending deliveries — the honest failure mode
+			// for a dead disk.
+			n.commitWedged = true
+			for i := range n.stagedSends {
+				n.stagedSends[i] = transport.Message{}
+			}
+			n.stagedSends = n.stagedSends[:0]
+			return
+		}
+		n.walGauge.Observe(len(n.walBatch))
+		for i := range n.walBatch {
+			n.walBatch[i] = storage.Record{} // release record buffers
+		}
+		n.walBatch = n.walBatch[:0]
+	}
+	n.commitWedged = false
+	if len(n.stagedSends) == 0 {
+		return
+	}
+	n.sendGauge.Observe(len(n.stagedSends))
+	if n.batchTr != nil {
+		_ = n.batchTr.SendBatch(n.stagedSends)
+	} else {
+		for i := range n.stagedSends {
+			_ = n.tr.Send(n.stagedSends[i].To, n.stagedSends[i])
+		}
+	}
+	for i := range n.stagedSends {
+		n.stagedSends[i] = transport.Message{} // release payload references
+	}
+	n.stagedSends = n.stagedSends[:0]
+}
+
+// stagePut queues a durable record for the burst's group commit.
+func (n *Node) stagePut(instance uint64, record []byte) {
+	n.walBatch = append(n.walBatch, storage.Record{Instance: instance, Data: record})
 }
 
 // flushDeliveries hands the pending batch to the delivery channel with a
@@ -99,7 +178,7 @@ func (n *Node) run() {
 // comes from learnDecision, which blocks once the pending batch reaches
 // its cap (as the per-message path blocked on a full channel).
 func (n *Node) flushDeliveries() {
-	if len(n.pending) == 0 {
+	if len(n.pending) == 0 || n.commitWedged {
 		return
 	}
 	select {
@@ -114,7 +193,7 @@ func (n *Node) flushDeliveries() {
 // blocked) so a live consumer receives every decision already handled;
 // Stop's done close releases the loop if the consumer is gone.
 func (n *Node) flushFinal() {
-	if len(n.pending) == 0 {
+	if len(n.pending) == 0 || n.commitWedged {
 		return
 	}
 	select {
@@ -128,7 +207,7 @@ func (n *Node) flushFinal() {
 // hand over the pending batch only if the consumer has room (pending
 // deliveries may be lost on Stop, as documented).
 func (n *Node) flushBestEffort() {
-	if len(n.pending) == 0 {
+	if len(n.pending) == 0 || n.commitWedged {
 		return
 	}
 	select {
@@ -232,10 +311,10 @@ func (n *Node) handleProposal(m transport.Message) {
 		}
 		return
 	}
-	if len(n.pendingQ) >= n.cfg.MaxPending {
+	if n.pendingQ.len() >= n.cfg.MaxPending {
 		return // shed load; clients retry end-to-end
 	}
-	n.pendingQ = append(n.pendingQ, m.Value)
+	n.pendingQ.push(m.Value)
 	n.tryPropose()
 }
 
@@ -246,10 +325,9 @@ func (n *Node) tryPropose() {
 	if !n.isCoord || !n.phase1Ready {
 		return
 	}
-	for len(n.pendingQ) > 0 && len(n.inFlight) < n.cfg.Window {
-		v := n.pendingQ[0]
-		n.pendingQ = n.pendingQ[1:]
-		if n.cfg.BatchBytes > 0 && len(n.pendingQ) > 0 && !v.Skip {
+	for n.pendingQ.len() > 0 && len(n.inFlight) < n.cfg.Window {
+		v := n.pendingQ.pop()
+		if n.cfg.BatchBytes > 0 && n.pendingQ.len() > 0 && !v.Skip {
 			v = n.packBatch(v)
 		}
 		n.proposeValue(v)
@@ -261,14 +339,14 @@ func (n *Node) tryPropose() {
 func (n *Node) packBatch(head transport.Value) transport.Value {
 	batch := []transport.InstanceValue{{Value: head}}
 	size := len(head.Data)
-	for len(n.pendingQ) > 0 && size < n.cfg.BatchBytes {
-		next := n.pendingQ[0]
+	for n.pendingQ.len() > 0 && size < n.cfg.BatchBytes {
+		next := n.pendingQ.peek()
 		if next.Skip || size+len(next.Data) > n.cfg.BatchBytes {
 			break
 		}
-		n.pendingQ = n.pendingQ[1:]
-		batch = append(batch, transport.InstanceValue{Value: next})
-		size += len(next.Data)
+		v := n.pendingQ.pop()
+		batch = append(batch, transport.InstanceValue{Value: v})
+		size += len(v.Data)
 	}
 	if len(batch) == 1 {
 		return head
@@ -293,12 +371,44 @@ func (n *Node) proposeValue(v transport.Value) {
 	n.sendPhase2(inst, v)
 }
 
-// sendPhase2 logs the coordinator's vote (before sending, as recovery
-// requires) and emits the Phase 2A/2B message.
+// recordVote stages the durable vote record for an instance and tracks it
+// in the volatile accepted map and its sorted index. The staged record
+// commits (group commit) before any message of this burst leaves the node.
+func (n *Node) recordVote(ballot uint32, inst uint64, v transport.Value) {
+	n.stagePut(inst, encodeAccept(ballot, inst, v))
+	if _, ok := n.accepted[inst]; !ok {
+		n.acceptedInsert(inst)
+	}
+	n.accepted[inst] = acceptedRec{ballot: ballot, value: v}
+}
+
+// acceptedInsert adds a new instance to the sorted index. Votes arrive in
+// almost-increasing instance order, so the append path dominates.
+func (n *Node) acceptedInsert(inst uint64) {
+	if k := len(n.acceptedIdx); k == 0 || inst > n.acceptedIdx[k-1] {
+		n.acceptedIdx = append(n.acceptedIdx, inst)
+		return
+	}
+	i := sort.Search(len(n.acceptedIdx), func(i int) bool { return n.acceptedIdx[i] >= inst })
+	if i < len(n.acceptedIdx) && n.acceptedIdx[i] == inst {
+		return
+	}
+	n.acceptedIdx = append(n.acceptedIdx, 0)
+	copy(n.acceptedIdx[i+1:], n.acceptedIdx[i:])
+	n.acceptedIdx[i] = inst
+}
+
+// stagePromise stages the durable record of a raised promise.
+func (n *Node) stagePromise() {
+	n.stagePut(promiseInstance, encodePromise(n.promised))
+}
+
+// sendPhase2 stages the coordinator's vote (durable before sending, as
+// recovery requires) and emits the Phase 2A/2B message.
 func (n *Node) sendPhase2(inst uint64, v transport.Value) {
-	// Durable vote first (Section 5.1).
-	_ = n.cfg.Log.Put(inst, encodeAccept(n.ballot, inst, v))
-	n.accepted[inst] = acceptedRec{ballot: n.ballot, value: v}
+	// Durable vote first (Section 5.1) — staged, committed before the
+	// message is released.
+	n.recordVote(n.ballot, inst, v)
 	m := transport.Message{
 		Kind:     transport.KindPhase2,
 		Ring:     n.ring,
@@ -330,15 +440,16 @@ func (n *Node) acceptPhase1(m *transport.Message) {
 	}
 	if m.Ballot > n.promised {
 		n.promised = m.Ballot
-		_ = n.cfg.Log.Put(promiseInstance, encodePromise(n.promised))
+		n.stagePromise()
 	}
 	m.Votes++
-	// Report accepted values at or above the scan point.
+	// Report accepted values at or above the scan point: the sorted
+	// index finds the scan start in O(log n) and walks only instances
+	// >= it, instead of scanning the whole accepted map.
 	var report []transport.InstanceValue
-	for inst, rec := range n.accepted {
-		if inst >= m.Instance {
-			report = append(report, transport.InstanceValue{Instance: inst, Value: rec.value})
-		}
+	start := sort.Search(len(n.acceptedIdx), func(i int) bool { return n.acceptedIdx[i] >= m.Instance })
+	for _, inst := range n.acceptedIdx[start:] {
+		report = append(report, transport.InstanceValue{Instance: inst, Value: n.accepted[inst].value})
 	}
 	if len(report) > 0 {
 		existing, err := transport.DecodeBatch(m.Payload)
@@ -413,11 +524,11 @@ func (n *Node) handlePhase2(m transport.Message) {
 	}
 	if m.Ballot > n.promised {
 		n.promised = m.Ballot
-		_ = n.cfg.Log.Put(promiseInstance, encodePromise(n.promised))
+		n.stagePromise()
 	}
-	// Log the vote before forwarding (Section 5.1).
-	_ = n.cfg.Log.Put(m.Instance, encodeAccept(m.Ballot, m.Instance, m.Value))
-	n.accepted[m.Instance] = acceptedRec{ballot: m.Ballot, value: m.Value}
+	// Stage the vote; the group commit at the end of this burst makes it
+	// durable before the forward below is released (Section 5.1).
+	n.recordVote(m.Ballot, m.Instance, m.Value)
 	m.Votes++
 	n.mu.Lock()
 	majority := n.rc.Majority()
@@ -485,7 +596,14 @@ func (n *Node) learnDecision(inst uint64, v transport.Value) {
 			n.pending = append(n.pending, Delivery{Ring: n.ring, Instance: n.nextDeliver, Value: val})
 			if len(n.pending) >= deliveryBatchCap {
 				// Full batch mid-drain (catch-up bursts): hand it over
-				// with backpressure before accumulating more.
+				// with backpressure before accumulating more. Commit
+				// staged votes first — a released delivery must never
+				// depend on a vote that is not yet durable — and keep
+				// accumulating if the commit is wedged.
+				n.commitStaged()
+				if n.commitWedged {
+					continue
+				}
 				select {
 				case n.deliverCh <- n.pending:
 					n.pending = n.getBatch()
@@ -708,15 +826,21 @@ func (n *Node) handleTrim(m transport.Message) {
 
 func (n *Node) applyTrim(upTo uint64) {
 	_ = n.cfg.Log.Trim(upTo)
-	for inst := range n.accepted {
-		if inst <= upTo {
-			delete(n.accepted, inst)
-		}
+	i := sort.Search(len(n.acceptedIdx), func(i int) bool { return n.acceptedIdx[i] > upTo })
+	for _, inst := range n.acceptedIdx[:i] {
+		delete(n.accepted, inst)
 	}
+	// Copy down rather than re-slice so the trimmed prefix does not pin
+	// the backing array.
+	n.acceptedIdx = append(n.acceptedIdx[:0], n.acceptedIdx[i:]...)
 }
 
-// send transmits a message on this ring, stamping the ring id.
+// send stages a message for transmission on this ring, stamping the ring
+// id. Staged messages are released by commitStaged at the end of the
+// current burst, after the burst's votes are durable — callers never
+// bypass the group-commit barrier.
 func (n *Node) send(to transport.ProcessID, m transport.Message) {
 	m.Ring = n.ring
-	_ = n.tr.Send(to, m)
+	m.To = to
+	n.stagedSends = append(n.stagedSends, m)
 }

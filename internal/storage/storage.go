@@ -21,6 +21,13 @@ import (
 	"sync"
 )
 
+// Record pairs a consensus instance with its durable record, for batched
+// log appends.
+type Record struct {
+	Instance uint64
+	Data     []byte
+}
+
 // Log is the acceptor stable-storage contract. Implementations must be
 // safe for concurrent use.
 type Log interface {
@@ -28,11 +35,20 @@ type Log interface {
 	// synchronous implementations Put returns after the record is
 	// persisted; asynchronous ones may buffer.
 	Put(instance uint64, record []byte) error
+	// PutBatch durably stores several records with a single
+	// stable-storage round trip (group commit): synchronous
+	// implementations pay one write barrier for the whole batch instead
+	// of one per record. Either every record is as durable as a Put
+	// would have made it, or an error is returned and the caller must
+	// assume none are.
+	PutBatch(recs []Record) error
 	// Get returns the record stored for an instance, or ok=false if the
 	// instance was never stored or has been trimmed.
 	Get(instance uint64) (record []byte, ok bool)
-	// Trim discards all records with instance <= upTo. Implementations
-	// may retain more than required but never less.
+	// Trim discards all records with instance <= upTo, except instance
+	// 0: that key is reserved for caller metadata (an acceptor's
+	// promised ballot) and is pinned across trims. Implementations may
+	// retain more than required but never less.
 	Trim(upTo uint64) error
 	// FirstRetained returns the lowest instance that is guaranteed still
 	// retrievable (0 if nothing was trimmed yet).
@@ -45,6 +61,10 @@ type Log interface {
 
 // ErrLogClosed is returned by operations on a closed log.
 var ErrLogClosed = errors.New("storage: log closed")
+
+// metaInstance is the reserved metadata key exempt from trimming (the
+// acceptor promise record; consensus instances start at 1).
+const metaInstance = 0
 
 // MemLog is an in-memory Log. It mirrors the paper's in-memory acceptor
 // buffers: bounded retention is the caller's job via Trim. The zero value
@@ -73,12 +93,33 @@ func (l *MemLog) Put(instance uint64, record []byte) error {
 	if l.records == nil {
 		l.records = make(map[uint64][]byte)
 	}
-	if instance <= l.trimmed && l.trimmed > 0 {
+	if instance != metaInstance && instance <= l.trimmed && l.trimmed > 0 {
 		return nil // already trimmed; ignore stale writes
 	}
 	cp := make([]byte, len(record))
 	copy(cp, record)
 	l.records[instance] = cp
+	return nil
+}
+
+// PutBatch stores copies of all records under one lock acquisition.
+func (l *MemLog) PutBatch(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrLogClosed
+	}
+	if l.records == nil {
+		l.records = make(map[uint64][]byte)
+	}
+	for _, r := range recs {
+		if r.Instance != metaInstance && r.Instance <= l.trimmed && l.trimmed > 0 {
+			continue
+		}
+		cp := make([]byte, len(r.Data))
+		copy(cp, r.Data)
+		l.records[r.Instance] = cp
+	}
 	return nil
 }
 
@@ -101,7 +142,7 @@ func (l *MemLog) Trim(upTo uint64) error {
 		return nil
 	}
 	for inst := range l.records {
-		if inst <= upTo {
+		if inst != metaInstance && inst <= upTo {
 			delete(l.records, inst)
 		}
 	}

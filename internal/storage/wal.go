@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"container/list"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -13,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"amcast/internal/metrics"
 )
 
 // SyncMode selects the durability mode of a FileWAL, mirroring the paper's
@@ -21,7 +24,8 @@ type SyncMode int
 
 const (
 	// SyncEveryPut flushes and fsyncs after every Put ("synchronous disk
-	// writes"; the paper disables batching in this mode).
+	// writes"; the paper disables batching in this mode). PutBatch still
+	// amortizes: one flush + fsync covers the whole batch (group commit).
 	SyncEveryPut SyncMode = iota + 1
 	// SyncPeriodic buffers writes and flushes on a background interval
 	// ("asynchronous disk writes").
@@ -37,23 +41,32 @@ const (
 // records are all <= the trim watermark. Open rebuilds the in-memory index
 // by scanning segments, so an acceptor recovers its log after a crash
 // (Section 5.1, acceptor recovery).
+//
+// The index holds only record locations — (segment, offset, length) — not
+// record bytes: Get serves reads with pread through a small LRU of hot
+// records, so memory stays flat no matter how much untrimmed log exists.
 type FileWAL struct {
 	dir     string
 	mode    SyncMode
 	maxSeg  int64
 	flushEv time.Duration
 
-	mu       sync.Mutex
-	segs     []*walSegment
-	cur      *os.File
-	curW     *bufio.Writer
-	curSize  int64
-	curFirst uint64 // lowest instance in current segment
-	curLast  uint64
-	curBase  int // numeric name of current segment
-	index    map[uint64]walLoc
-	trimmed  uint64
-	closed   bool
+	mu         sync.Mutex
+	segs       []*walSegment
+	cur        *os.File
+	curW       *bufio.Writer
+	curSize    int64
+	curFlushed int64 // bytes of the current segment already written through
+	curFirst   uint64
+	curLast    uint64
+	curBase    int // numeric name of current segment
+	index      map[uint64]walLoc
+	cache      *recordCache
+	trimmed    uint64
+	closed     bool
+
+	fsyncs     metrics.Counter
+	batchGauge metrics.BatchGauge
 
 	flushDone chan struct{}
 	flushStop chan struct{}
@@ -64,10 +77,15 @@ type walSegment struct {
 	base  int
 	first uint64
 	last  uint64
+	r     *os.File // lazily opened pread handle
 }
 
+// walLoc locates one record's data bytes on disk (offset is past the
+// 16-byte frame header).
 type walLoc struct {
-	data []byte // records cached in memory for serving retransmissions
+	base int
+	off  int64
+	n    int
 }
 
 // WALOptions configures OpenWAL.
@@ -78,6 +96,9 @@ type WALOptions struct {
 	MaxSegmentBytes int64
 	// FlushInterval is the async flush period. Default 10 ms.
 	FlushInterval time.Duration
+	// CacheBytes bounds the in-memory LRU of hot records served by Get
+	// (retransmissions read the recent tail). Default 4 MB.
+	CacheBytes int
 }
 
 // OpenWAL opens (creating if needed) a WAL in dir and replays existing
@@ -92,6 +113,9 @@ func OpenWAL(dir string, opts WALOptions) (*FileWAL, error) {
 	if opts.FlushInterval == 0 {
 		opts.FlushInterval = 10 * time.Millisecond
 	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 4 << 20
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create wal dir: %w", err)
 	}
@@ -101,6 +125,7 @@ func OpenWAL(dir string, opts WALOptions) (*FileWAL, error) {
 		maxSeg:    opts.MaxSegmentBytes,
 		flushEv:   opts.FlushInterval,
 		index:     make(map[uint64]walLoc),
+		cache:     newRecordCache(opts.CacheBytes),
 		flushDone: make(chan struct{}),
 		flushStop: make(chan struct{}),
 	}
@@ -122,7 +147,8 @@ var _ Log = (*FileWAL)(nil)
 
 func segName(base int) string { return fmt.Sprintf("wal-%09d.seg", base) }
 
-// replay scans existing segments in order, loading records into the index.
+// replay scans existing segments in order, loading record locations into
+// the index.
 func (w *FileWAL) replay() error {
 	entries, err := os.ReadDir(w.dir)
 	if err != nil {
@@ -163,6 +189,7 @@ func (w *FileWAL) replaySegment(seg *walSegment) error {
 	defer func() { _ = f.Close() }()
 	r := bufio.NewReader(f)
 	var hdr [16]byte
+	var off int64
 	first := true
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -179,7 +206,8 @@ func (w *FileWAL) replaySegment(seg *walSegment) error {
 		if crc32.ChecksumIEEE(data) != sum {
 			return nil // corrupt tail; discard rest
 		}
-		w.index[inst] = walLoc{data: data}
+		w.index[inst] = walLoc{base: seg.base, off: off + 16, n: int(size)}
+		off += 16 + int64(size)
 		if first || inst < seg.first {
 			seg.first = inst
 		}
@@ -197,7 +225,7 @@ func (w *FileWAL) rollSegment() error {
 		if err := w.curW.Flush(); err != nil {
 			return err
 		}
-		if err := w.cur.Sync(); err != nil {
+		if err := w.syncCur(); err != nil {
 			return err
 		}
 		if err := w.cur.Close(); err != nil {
@@ -212,28 +240,24 @@ func (w *FileWAL) rollSegment() error {
 		w.curBase++
 	}
 	path := filepath.Join(w.dir, segName(w.curBase))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	// O_RDWR so Get can pread records of the open segment (O_APPEND only
+	// affects writes).
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: open segment: %w", err)
 	}
 	w.cur = f
 	w.curW = bufio.NewWriterSize(f, 256<<10)
 	w.curSize = 0
+	w.curFlushed = 0
 	w.curFirst = 0
 	w.curLast = 0
 	return nil
 }
 
-// Put appends a record for instance.
-func (w *FileWAL) Put(instance uint64, record []byte) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return ErrLogClosed
-	}
-	if w.trimmed > 0 && instance <= w.trimmed {
-		return nil
-	}
+// appendLocked frames one record into the current segment's buffer and
+// indexes its location. It does not flush or sync.
+func (w *FileWAL) appendLocked(instance uint64, record []byte) error {
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[:8], instance)
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(record)))
@@ -244,9 +268,9 @@ func (w *FileWAL) Put(instance uint64, record []byte) error {
 	if _, err := w.curW.Write(record); err != nil {
 		return err
 	}
-	cp := make([]byte, len(record))
-	copy(cp, record)
-	w.index[instance] = walLoc{data: cp}
+	loc := walLoc{base: w.curBase, off: w.curSize + 16, n: len(record)}
+	w.index[instance] = loc
+	w.cache.addCopy(loc, record)
 	if w.curFirst == 0 || instance < w.curFirst {
 		w.curFirst = instance
 	}
@@ -254,11 +278,18 @@ func (w *FileWAL) Put(instance uint64, record []byte) error {
 		w.curLast = instance
 	}
 	w.curSize += int64(16 + len(record))
+	return nil
+}
+
+// commitLocked makes everything appended so far durable for synchronous
+// mode and rolls the segment at the size threshold.
+func (w *FileWAL) commitLocked() error {
 	if w.mode == SyncEveryPut {
 		if err := w.curW.Flush(); err != nil {
 			return err
 		}
-		if err := w.cur.Sync(); err != nil {
+		w.curFlushed = w.curSize
+		if err := w.syncCur(); err != nil {
 			return err
 		}
 	}
@@ -268,15 +299,135 @@ func (w *FileWAL) Put(instance uint64, record []byte) error {
 	return nil
 }
 
-// Get returns the cached record for instance.
-func (w *FileWAL) Get(instance uint64) ([]byte, bool) {
+// Put appends a record for instance.
+func (w *FileWAL) Put(instance uint64, record []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	loc, ok := w.index[instance]
-	if !ok {
+	if w.closed {
+		return ErrLogClosed
+	}
+	if instance != metaInstance && w.trimmed > 0 && instance <= w.trimmed {
+		return nil
+	}
+	if err := w.appendLocked(instance, record); err != nil {
+		return err
+	}
+	return w.commitLocked()
+}
+
+// PutBatch appends all records and commits them with one buffered write
+// and — under SyncEveryPut — one fsync for the whole batch: group commit,
+// amortizing the write barrier that dominates synchronous-disk acceptors.
+func (w *FileWAL) PutBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrLogClosed
+	}
+	appended := 0
+	for _, r := range recs {
+		if r.Instance != metaInstance && w.trimmed > 0 && r.Instance <= w.trimmed {
+			continue
+		}
+		if err := w.appendLocked(r.Instance, r.Data); err != nil {
+			return err
+		}
+		appended++
+	}
+	if appended == 0 {
+		return nil
+	}
+	w.batchGauge.Observe(appended)
+	return w.commitLocked()
+}
+
+// Get returns the record for instance, reading it back from disk (via the
+// LRU) if it is not cached.
+func (w *FileWAL) Get(instance uint64) ([]byte, bool) {
+	w.mu.Lock()
+	if w.closed {
+		// Segment handles are gone; reopening here would leak them.
+		w.mu.Unlock()
 		return nil, false
 	}
-	return loc.data, true
+	loc, ok := w.index[instance]
+	if !ok {
+		w.mu.Unlock()
+		return nil, false
+	}
+	if data, ok := w.cache.get(loc); ok {
+		w.mu.Unlock()
+		return data, true
+	}
+	w.mu.Unlock()
+	// pread outside the lock: a cold read (retransmission serving) must
+	// never stall the hot-path group commit. A concurrent segment roll
+	// can close the handle between resolution and ReadAt; the retry
+	// re-resolves (the rolled segment reopens via segByBase). Only a
+	// Trim or Close — which really removed the record — fails twice.
+	var data []byte
+	for attempt := 0; ; attempt++ {
+		w.mu.Lock()
+		f, err := w.readHandleLocked(loc)
+		w.mu.Unlock()
+		if err != nil {
+			return nil, false
+		}
+		data = make([]byte, loc.n)
+		if _, err := f.ReadAt(data, loc.off); err == nil {
+			break
+		}
+		if attempt == 1 {
+			return nil, false
+		}
+	}
+	w.mu.Lock()
+	if !w.closed {
+		w.cache.add(loc, data)
+	}
+	w.mu.Unlock()
+	return data, true
+}
+
+// readHandleLocked resolves the file to pread loc from, flushing the
+// write buffer first when the record's bytes may still be buffered.
+func (w *FileWAL) readHandleLocked(loc walLoc) (*os.File, error) {
+	if w.closed {
+		return nil, ErrLogClosed // don't reopen (and leak) segment handles
+	}
+	if loc.base == w.curBase {
+		if loc.off+int64(loc.n) > w.curFlushed {
+			if err := w.curW.Flush(); err != nil {
+				return nil, err
+			}
+			w.curFlushed = w.curSize
+		}
+		return w.cur, nil
+	}
+	seg := w.segByBase(loc.base)
+	if seg == nil {
+		return nil, fmt.Errorf("storage: segment %d gone", loc.base)
+	}
+	if seg.r == nil {
+		r, err := os.Open(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		seg.r = r
+	}
+	return seg.r, nil
+}
+
+func (w *FileWAL) segByBase(base int) *walSegment {
+	for _, seg := range w.segs {
+		if seg.base == base {
+			return seg
+		}
+	}
+	return nil
 }
 
 // Trim removes whole segments whose records are all <= upTo and drops
@@ -291,9 +442,16 @@ func (w *FileWAL) Trim(upTo uint64) error {
 		return nil
 	}
 	w.trimmed = upTo
+	// The metadata record (the acceptor promise) is pinned: its segment
+	// must survive so replay and Get keep serving the latest promise.
+	metaLoc, hasMeta := w.index[metaInstance]
 	kept := w.segs[:0]
 	for _, seg := range w.segs {
-		if seg.last != 0 && seg.last <= upTo {
+		pinned := hasMeta && metaLoc.base == seg.base
+		if !pinned && seg.last != 0 && seg.last <= upTo {
+			if seg.r != nil {
+				_ = seg.r.Close()
+			}
 			_ = os.Remove(seg.path)
 			continue
 		}
@@ -301,7 +459,7 @@ func (w *FileWAL) Trim(upTo uint64) error {
 	}
 	w.segs = kept
 	for inst := range w.index {
-		if inst <= upTo {
+		if inst != metaInstance && inst <= upTo {
 			delete(w.index, inst)
 		}
 	}
@@ -332,8 +490,22 @@ func (w *FileWAL) syncLocked() error {
 	if err := w.curW.Flush(); err != nil {
 		return err
 	}
+	w.curFlushed = w.curSize
+	return w.syncCur()
+}
+
+// syncCur fsyncs the current segment, counting the barrier.
+func (w *FileWAL) syncCur() error {
+	w.fsyncs.Inc()
 	return w.cur.Sync()
 }
+
+// Fsyncs reports how many fsyncs the WAL has issued — the cost group
+// commit exists to amortize.
+func (w *FileWAL) Fsyncs() uint64 { return w.fsyncs.Load() }
+
+// BatchGauge returns the PutBatch size distribution (records per commit).
+func (w *FileWAL) BatchGauge() *metrics.BatchGauge { return &w.batchGauge }
 
 func (w *FileWAL) flushLoop() {
 	defer close(w.flushDone)
@@ -363,6 +535,12 @@ func (w *FileWAL) Close() error {
 	err := w.syncLocked()
 	w.closed = true
 	cerr := w.cur.Close()
+	for _, seg := range w.segs {
+		if seg.r != nil {
+			_ = seg.r.Close()
+			seg.r = nil
+		}
+	}
 	w.mu.Unlock()
 	if w.mode == SyncPeriodic {
 		close(w.flushStop)
@@ -379,4 +557,72 @@ func (w *FileWAL) SegmentCount() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.segs) + 1
+}
+
+// recordCache is a byte-bounded LRU of record payloads keyed by their file
+// location. It keeps the hot tail of the log — what retransmission serving
+// actually reads — in memory without the full-log copy the index used to
+// carry. Locations are unique per appended record, so rewritten keys (the
+// promise record) can never serve a stale cached value.
+type recordCache struct {
+	maxBytes int
+	bytes    int
+	ll       *list.List // front = most recent
+	ents     map[walLoc]*list.Element
+}
+
+type cacheEnt struct {
+	loc  walLoc
+	data []byte
+}
+
+func newRecordCache(maxBytes int) *recordCache {
+	return &recordCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		ents:     make(map[walLoc]*list.Element),
+	}
+}
+
+func (c *recordCache) get(loc walLoc) ([]byte, bool) {
+	e, ok := c.ents[loc]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEnt).data, true
+}
+
+// add caches data, taking ownership of the slice.
+func (c *recordCache) add(loc walLoc, data []byte) {
+	if len(data) > c.maxBytes {
+		return // larger than the whole cache; don't thrash it
+	}
+	if e, ok := c.ents[loc]; ok {
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.ents[loc] = c.ll.PushFront(&cacheEnt{loc: loc, data: data})
+	c.bytes += len(data)
+	for c.bytes > c.maxBytes {
+		e := c.ll.Back()
+		if e == nil {
+			return
+		}
+		ent := e.Value.(*cacheEnt)
+		c.ll.Remove(e)
+		delete(c.ents, ent.loc)
+		c.bytes -= len(ent.data)
+	}
+}
+
+// addCopy caches a copy of data (for callers that keep mutating or reusing
+// the slice).
+func (c *recordCache) addCopy(loc walLoc, data []byte) {
+	if len(data) > c.maxBytes {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.add(loc, cp)
 }

@@ -125,69 +125,99 @@ func (n *Network) Close() {
 	n.timers.Wait()
 }
 
-// send routes a message, applying link shaping.
+// send routes a message, applying link shaping. It is the one-message
+// case of sendRun, so batched and single sends share one scheduling
+// implementation.
 func (n *Network) send(from ProcessID, m Message) error {
+	run := [1]Message{m}
+	return n.sendRun(from, run[:])
+}
+
+// sendBatch routes a staged batch: consecutive same-destination messages
+// (the dominant shape — a ring burst forwards almost everything to the
+// successor) resolve the destination and take the link lock once per run,
+// and messages deliverable immediately land in the destination mailbox
+// with a single push.
+func (n *Network) sendBatch(from ProcessID, msgs []Message) error {
+	return forEachRun(msgs, func(run []Message) error {
+		return n.sendRun(from, run)
+	})
+}
+
+// sendRun applies link shaping to one same-destination run. It mirrors
+// send's per-message schedule computation; messages whose delivery time
+// has already passed on an idle link form a prefix of the run (once one
+// message queues, FIFO forces the rest behind it) and are delivered
+// together.
+func (n *Network) sendRun(from ProcessID, run []Message) error {
+	to := run[0].To
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrClosed
 	}
-	if n.blocked[[2]ProcessID{from, m.To}] {
+	if n.blocked[[2]ProcessID{from, to}] {
 		n.mu.Unlock()
 		return nil // silently lost, like a partitioned link
 	}
-	dst, ok := n.eps[m.To]
+	dst, ok := n.eps[to]
 	if !ok {
 		n.mu.Unlock()
-		return nil // destination crashed: message lost
+		return nil // destination crashed: messages lost
 	}
-	key := [2]ProcessID{from, m.To}
+	key := [2]ProcessID{from, to}
 	ls := n.links[key]
 	if ls == nil {
 		ls = &linkState{}
 		n.links[key] = ls
 	}
-	fromSite, toSite := n.sites[from], n.sites[m.To]
+	fromSite, toSite := n.sites[from], n.sites[to]
 	n.mu.Unlock()
 
-	size := m.EncodedSize()
 	link := n.topo.Link(fromSite, toSite)
 	scale := n.topo.Scale()
-	tx := time.Duration(float64(link.Transmission(size)) * scale)
-	prop := n.topo.Delay(fromSite, toSite, 0) // propagation + jitter, scaled
 
 	now := time.Now()
+	ready := 0 // prefix of run deliverable immediately
+	pushed := false
 	ls.mu.Lock()
-	start := now
-	if ls.nextFree.After(start) {
-		start = ls.nextFree
-	}
-	ls.nextFree = start.Add(tx)
-	deliverAt := start.Add(tx + prop)
-	if deliverAt.Before(ls.lastDeliver) {
-		deliverAt = ls.lastDeliver // keep FIFO despite jitter
-	}
-	ls.lastDeliver = deliverAt
-	ls.mu.Unlock()
-
-	if deliverAt.Sub(now) <= 0 {
-		ls.mu.Lock()
-		busy := ls.draining || len(ls.queue) > 0
-		ls.mu.Unlock()
-		if !busy {
-			dst.mb.push(m)
-			return nil
+	busy := ls.draining || len(ls.queue) > 0
+	for _, m := range run {
+		tx := time.Duration(float64(link.Transmission(m.EncodedSize())) * scale)
+		prop := n.topo.Delay(fromSite, toSite, 0)
+		start := now
+		if ls.nextFree.After(start) {
+			start = ls.nextFree
 		}
-		// Fall through: queue behind in-flight messages to keep FIFO.
-	}
-	ls.mu.Lock()
-	ls.queue = append(ls.queue, scheduledMsg{deliverAt: deliverAt, msg: m, dst: dst})
-	if !ls.draining {
-		ls.draining = true
-		n.timers.Add(1)
-		go n.drainLink(ls)
+		ls.nextFree = start.Add(tx)
+		deliverAt := start.Add(tx + prop)
+		if deliverAt.Before(ls.lastDeliver) {
+			deliverAt = ls.lastDeliver // keep FIFO despite jitter
+		}
+		ls.lastDeliver = deliverAt
+		if !busy && deliverAt.Sub(now) <= 0 {
+			ready++
+			continue
+		}
+		if !busy && ready > 0 {
+			// Release the ready prefix before the first message queues:
+			// once drainLink is running it could otherwise deliver the
+			// suffix ahead of a prefix pushed after unlock.
+			dst.mb.pushAll(run[:ready])
+			pushed = true
+		}
+		busy = true
+		ls.queue = append(ls.queue, scheduledMsg{deliverAt: deliverAt, msg: m, dst: dst})
+		if !ls.draining {
+			ls.draining = true
+			n.timers.Add(1)
+			go n.drainLink(ls)
+		}
 	}
 	ls.mu.Unlock()
+	if !pushed {
+		dst.mb.pushAll(run[:ready])
+	}
 	return nil
 }
 
@@ -230,8 +260,24 @@ type netEndpoint struct {
 }
 
 var _ Transport = (*netEndpoint)(nil)
+var _ BatchSender = (*netEndpoint)(nil)
 
 func (e *netEndpoint) ID() ProcessID { return e.id }
+
+// SendBatch routes a staged batch through the hub's coalescing path. Each
+// message's To must be set; From is stamped here.
+func (e *netEndpoint) SendBatch(msgs []Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	for i := range msgs {
+		msgs[i].From = e.id
+	}
+	return e.net.sendBatch(e.id, msgs)
+}
 
 func (e *netEndpoint) Send(to ProcessID, m Message) error {
 	e.mu.Lock()

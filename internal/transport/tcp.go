@@ -26,13 +26,46 @@ type TCPNode struct {
 }
 
 type tcpConn struct {
-	mu sync.Mutex // serializes writes
-	c  net.Conn
+	mu   sync.Mutex // serializes writes
+	c    net.Conn
+	wbuf []byte // reused frame-encode buffer (coalescing writer)
 }
 
 // maxFrame bounds a single message frame (64 MB) to protect against
 // corrupt length prefixes.
 const maxFrame = 64 << 20
+
+// maxRetainedBuf caps the per-connection encode buffer kept across writes;
+// an occasional oversized frame (snapshot transfer) doesn't pin its memory
+// on the connection forever.
+const maxRetainedBuf = 1 << 20
+
+// appendFrame appends m's length-prefixed encoding to buf.
+func appendFrame(buf []byte, m *Message) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = m.AppendEncode(buf)
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(buf)-start-4))
+	return buf
+}
+
+// write encodes the frames into the connection's reused buffer and writes
+// them with a single syscall. Returns the write error, if any.
+func (c *tcpConn) write(msgs ...Message) error {
+	c.mu.Lock()
+	buf := c.wbuf[:0]
+	for i := range msgs {
+		buf = appendFrame(buf, &msgs[i])
+	}
+	_, err := c.c.Write(buf)
+	if cap(buf) <= maxRetainedBuf {
+		c.wbuf = buf[:0]
+	} else {
+		c.wbuf = nil
+	}
+	c.mu.Unlock()
+	return err
+}
 
 // ListenTCP starts a TCP transport for process id on addr
 // (e.g. "127.0.0.1:7001"). Peer addresses are registered with SetPeer.
@@ -54,6 +87,7 @@ func ListenTCP(id ProcessID, addr string) (*TCPNode, error) {
 }
 
 var _ Transport = (*TCPNode)(nil)
+var _ BatchSender = (*TCPNode)(nil)
 
 // ID returns the process id bound to this node.
 func (n *TCPNode) ID() ProcessID { return n.id }
@@ -84,16 +118,33 @@ func (n *TCPNode) Send(to ProcessID, m Message) error {
 	if conn == nil {
 		return nil // unknown peer address: treat as lost
 	}
-	frame := make([]byte, 4, 4+m.EncodedSize())
-	frame = m.AppendEncode(frame)
-	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
-	conn.mu.Lock()
-	_, werr := conn.c.Write(frame)
-	conn.mu.Unlock()
-	if werr != nil {
+	if werr := conn.write(m); werr != nil {
 		n.dropConn(to, conn)
 	}
 	return nil
+}
+
+// SendBatch writes a staged batch of messages, coalescing consecutive
+// same-destination messages — the dominant shape on the ring, where a
+// drained burst forwards almost everything to the successor — into one
+// frame buffer and one write syscall per run.
+func (n *TCPNode) SendBatch(msgs []Message) error {
+	return forEachRun(msgs, func(run []Message) error {
+		to := run[0].To
+		for k := range run {
+			run[k].From = n.id
+		}
+		conn, err := n.conn(to)
+		if err != nil {
+			return err
+		}
+		if conn != nil {
+			if werr := conn.write(run...); werr != nil {
+				n.dropConn(to, conn)
+			}
+		}
+		return nil
+	})
 }
 
 // Close shuts down the listener and all connections.

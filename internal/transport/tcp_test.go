@@ -258,3 +258,98 @@ func TestTCPRedialAfterDrop(t *testing.T) {
 	}
 	t.Fatal("message never delivered after connection drop")
 }
+
+func TestTCPSendBatchCoalesced(t *testing.T) {
+	a, b := newTCPPair(t)
+	const count = 400
+	msgs := make([]Message, count)
+	for i := range msgs {
+		msgs[i] = Message{
+			Kind:  KindPhase2,
+			To:    2,
+			Seq:   uint64(i),
+			Value: Value{ID: uint64(i + 1), Data: []byte{byte(i), byte(i >> 8)}},
+		}
+	}
+	// One call: all frames encode into one buffer and (conn permitting)
+	// one write; every message must arrive intact and in order.
+	if err := a.SendBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		got := recvOne(t, b, 5*time.Second)
+		if got.Seq != uint64(i) || got.From != 1 {
+			t.Fatalf("message %d: got seq %d from %d", i, got.Seq, got.From)
+		}
+		if got.Value.Data[0] != byte(i) || got.Value.Data[1] != byte(i>>8) {
+			t.Fatalf("message %d: payload corrupted: %v", i, got.Value.Data)
+		}
+	}
+}
+
+func TestTCPSendBatchMultiDestinationRuns(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ListenTCP(3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close(); _ = c.Close() })
+	a.SetPeer(2, b.Addr())
+	a.SetPeer(3, c.Addr())
+
+	// Alternating destinations force multiple coalescing runs; order must
+	// hold per destination.
+	var msgs []Message
+	for i := 0; i < 60; i++ {
+		msgs = append(msgs, Message{Kind: KindDecision, To: ProcessID(2 + i%2), Seq: uint64(i)})
+	}
+	if err := a.SendBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if got := recvOne(t, b, 5*time.Second); got.Seq != uint64(2*i) {
+			t.Fatalf("b message %d: seq %d", i, got.Seq)
+		}
+		if got := recvOne(t, c, 5*time.Second); got.Seq != uint64(2*i+1) {
+			t.Fatalf("c message %d: seq %d", i, got.Seq)
+		}
+	}
+}
+
+func TestTCPSendBatchInterleavedWithSend(t *testing.T) {
+	a, b := newTCPPair(t)
+	for i := 0; i < 50; i++ {
+		if err := a.Send(2, Message{Kind: KindCommand, Seq: uint64(2 * i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SendBatch([]Message{{Kind: KindCommand, To: 2, Seq: uint64(2*i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got := recvOne(t, b, 5*time.Second); got.Seq != i {
+			t.Fatalf("out of order at %d: got %d", i, got.Seq)
+		}
+	}
+}
+
+func TestTCPSendBatchUnknownPeerSkipsRun(t *testing.T) {
+	a, b := newTCPPair(t)
+	msgs := []Message{
+		{Kind: KindCommand, To: 9, Seq: 1}, // unknown: dropped silently
+		{Kind: KindCommand, To: 2, Seq: 2},
+	}
+	if err := a.SendBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b, 5*time.Second); got.Seq != 2 {
+		t.Fatalf("got seq %d, want 2", got.Seq)
+	}
+}

@@ -23,8 +23,35 @@ type Transport interface {
 	Close() error
 }
 
+// BatchSender is implemented by transports that can coalesce several
+// messages into fewer writes: one frame buffer and one syscall per
+// destination flush on TCP, one hub-lock acquisition per destination run
+// on the in-process Network. Each message's To field must be set by the
+// caller; From is stamped by the transport. Per-destination FIFO order is
+// preserved. Callers should type-assert once and fall back to per-message
+// Send when the transport does not implement it.
+type BatchSender interface {
+	SendBatch(msgs []Message) error
+}
+
 // ErrClosed is returned by Send on a closed transport.
 var ErrClosed = errors.New("transport: closed")
+
+// forEachRun invokes fn on each maximal run of consecutive messages with
+// the same destination — the unit BatchSender implementations coalesce.
+func forEachRun(msgs []Message, fn func(run []Message) error) error {
+	for i := 0; i < len(msgs); {
+		j := i + 1
+		for j < len(msgs) && msgs[j].To == msgs[i].To {
+			j++
+		}
+		if err := fn(msgs[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
 
 // mailbox is an unbounded FIFO queue bridged onto a channel so receivers
 // can select on incoming messages together with shutdown signals.
@@ -56,6 +83,22 @@ func (mb *mailbox) push(m Message) {
 		return
 	}
 	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// pushAll enqueues a batch of messages under one lock acquisition and one
+// wakeup, so coalesced sends stay coalesced through the receive queue.
+func (mb *mailbox) pushAll(msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.queue = append(mb.queue, msgs...)
 	mb.mu.Unlock()
 	mb.cond.Signal()
 }
