@@ -35,7 +35,8 @@ func run() error {
 	ablation := flag.String("ablation", "", "ablation to run: merge-m, skip, batch, global-ring or 'all'")
 	delivery := flag.Bool("delivery", false, "run the delivery-pipeline benchmark (per-message vs batched)")
 	ioBench := flag.Bool("io", false, "run the acceptor I/O benchmark (per-put fsync vs group commit)")
-	benchJSON := flag.String("json", "", "write the -delivery or -io benchmark result to this JSON file")
+	ckptBench := flag.Bool("ckpt", false, "run the checkpoint-pipeline benchmark (sync-seed vs COW-async)")
+	benchJSON := flag.String("json", "", "write the -delivery, -io or -ckpt benchmark result to this JSON file")
 	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
@@ -50,15 +51,21 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" && !*delivery && !*ioBench {
+	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench {
 		flag.Usage()
-		return fmt.Errorf("pass -fig, -ablation, -delivery or -io")
+		return fmt.Errorf("pass -fig, -ablation, -delivery, -io or -ckpt")
 	}
-	if *delivery && *ioBench && *benchJSON != "" {
-		return fmt.Errorf("-json targets one benchmark; pass -delivery or -io, not both")
+	selected := 0
+	for _, b := range []bool{*delivery, *ioBench, *ckptBench} {
+		if b {
+			selected++
+		}
 	}
-	if !*delivery && !*ioBench && *benchJSON != "" {
-		return fmt.Errorf("-json applies to the -delivery and -io benchmarks only")
+	if selected > 1 && *benchJSON != "" {
+		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt")
+	}
+	if selected == 0 && *benchJSON != "" {
+		return fmt.Errorf("-json applies to the -delivery, -io and -ckpt benchmarks only")
 	}
 	if !*delivery && *seedBaseline > 0 {
 		return fmt.Errorf("-seed-baseline applies to the -delivery benchmark only")
@@ -88,6 +95,19 @@ func run() error {
 
 	if *ioBench {
 		res, err := bench.IOBench(o)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+	}
+
+	if *ckptBench {
+		res, err := bench.CkptBench(o)
 		if err != nil {
 			return err
 		}

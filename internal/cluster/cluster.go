@@ -142,10 +142,17 @@ type StoreOptions struct {
 	GlobalLambda int
 	// CheckpointEvery commands between replica checkpoints (0 off).
 	CheckpointEvery int
+	// SyncCheckpoints forces the legacy blocking checkpoint path
+	// (benchmark comparison only; see smr.ReplicaConfig).
+	SyncCheckpoints bool
 	// RecoveryTimeout enables peer recovery on restart.
 	RecoveryTimeout time.Duration
 	// NewLog supplies acceptor logs per (ring, process); nil = memory.
 	NewLog func(ring transport.RingID, self transport.ProcessID) (storage.Log, error)
+	// NewCheckpointStore supplies each replica's stable checkpoint store
+	// (e.g. a recovery.FileStore so checkpoint durability costs are
+	// real); nil = in-memory.
+	NewCheckpointStore func(self transport.ProcessID) (recovery.Store, error)
 }
 
 // StoreCluster is a running MRP-Store deployment.
@@ -257,7 +264,15 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 	c.mu.Lock()
 	ckpt, ok := c.ckpts[id]
 	if !ok {
-		ckpt = recovery.NewMemStore()
+		if c.opts.NewCheckpointStore != nil {
+			var err error
+			if ckpt, err = c.opts.NewCheckpointStore(id); err != nil {
+				c.mu.Unlock()
+				return fmt.Errorf("cluster: checkpoint store for %d: %w", id, err)
+			}
+		} else {
+			ckpt = recovery.NewMemStore()
+		}
 		c.ckpts[id] = ckpt
 	}
 	c.mu.Unlock()
@@ -270,6 +285,7 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 		Coord:           c.D.Svc,
 		Checkpoints:     ckpt,
 		CheckpointEvery: c.opts.CheckpointEvery,
+		SyncCheckpoints: c.opts.SyncCheckpoints,
 		Ring:            c.opts.Ring,
 		Batch:           c.opts.Batch,
 		M:               c.opts.M,

@@ -13,6 +13,7 @@ package dlog
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -187,6 +188,13 @@ type SM struct {
 	// the oldest cached entries are dropped first (reads fall back to
 	// disk).
 	cacheLimit int
+
+	// Snapshot pinning: while captures are outstanding, disk trims are
+	// deferred so the background checkpoint writer can still resolve
+	// cache-evicted entries from disk. The last capture's release
+	// applies the pending trim (outside the lock).
+	captures    int
+	trimPending bool
 }
 
 // SMConfig configures a dLog state machine.
@@ -217,13 +225,36 @@ func NewSM(cfg SMConfig) *SM {
 }
 
 var (
-	_ smr.StateMachine  = (*SM)(nil)
-	_ smr.BatchExecutor = (*SM)(nil)
+	_ smr.StateMachine     = (*SM)(nil)
+	_ smr.BatchExecutor    = (*SM)(nil)
+	_ smr.SnapshotCapturer = (*SM)(nil)
 )
 
 // diskKey packs (log, position) into a storage key.
 func diskKey(l LogID, pos uint64) uint64 {
 	return uint64(l)<<40 | (pos & (1<<40 - 1))
+}
+
+// diskTrimWatermark returns the largest watermark that is safe to hand to
+// the backing store's Trim, and whether any trim is safe at all.
+// storage.Log.Trim is a global prefix drop over the packed (log, position)
+// keyspace, so the watermark is capped by the lowest hosted log's retained
+// base — trimming key-wise past it would wipe lower-numbered logs'
+// retained records wholesale. A hosted log still retaining key 0 (log 0,
+// base 0) makes every watermark unsafe. Callers hold s.mu.
+func (s *SM) diskTrimWatermark() (uint64, bool) {
+	w := uint64(0)
+	first := true
+	for l, ls := range s.hosted {
+		k := diskKey(l, ls.base)
+		if k == 0 {
+			return 0, false
+		}
+		if first || k-1 < w {
+			w, first = k-1, false
+		}
+	}
+	return w, !first
 }
 
 // Execute applies one encoded operation.
@@ -308,8 +339,14 @@ func (s *SM) apply(op Op) Result {
 		if s.disk != nil {
 			// A trim "flushes the cache up to the trim position and
 			// creates a new log file on disk" (Section 7.3): trim
-			// the backing store too.
-			_ = s.disk.Trim(diskKey(op.Log, op.Pos) - 1)
+			// the backing store too — deferred while snapshot
+			// captures are outstanding, so the checkpoint writer can
+			// still resolve evicted entries.
+			if s.captures > 0 {
+				s.trimPending = true
+			} else if w, ok := s.diskTrimWatermark(); ok {
+				_ = s.disk.Trim(w)
+			}
 		}
 		return Result{Status: StatusOK, Positions: map[LogID]uint64{op.Log: ls.base}}
 	default:
@@ -348,16 +385,83 @@ func (s *SM) LenOf(l LogID) int {
 	return 0
 }
 
-// Snapshot serializes all hosted logs.
-func (s *SM) Snapshot() []byte {
+// logSnapshot is one hosted log's captured view. The entries slice header
+// array is copied at capture time, but the entry byte slices themselves
+// are shared: an appended entry is never mutated afterwards (eviction and
+// trim only drop references from the live state), so the capture stays a
+// faithful point-in-time image while the live log keeps moving.
+type logSnapshot struct {
+	log     LogID
+	base    uint64
+	next    uint64
+	entries [][]byte
+}
+
+// smSnapshot adapts a captured set of logs to smr.StateSnapshot. While it
+// is outstanding (until Release), the SM defers disk trims so the lazy
+// disk reads in Serialize stay answerable.
+type smSnapshot struct {
+	sm       *SM
+	logs     []logSnapshot // ascending log id
+	released sync.Once
+}
+
+var _ smr.ReleasableSnapshot = (*smSnapshot)(nil)
+
+// CaptureSnapshot captures every hosted log with O(cached entries)
+// pointer copies — no entry bytes are touched, so capture cost is
+// independent of log data volume. Entries already evicted to disk are
+// resolved lazily by Serialize; the capture pins disk trims until
+// Release so those reads cannot race a trim into silent holes.
+func (s *SM) CaptureSnapshot() smr.StateSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.captures++
+	snap := &smSnapshot{sm: s, logs: make([]logSnapshot, 0, len(s.hosted))}
+	for l, ls := range s.hosted {
+		entries := make([][]byte, len(ls.entries))
+		copy(entries, ls.entries)
+		snap.logs = append(snap.logs, logSnapshot{log: l, base: ls.base, next: ls.next, entries: entries})
+	}
+	sort.Slice(snap.logs, func(i, j int) bool { return snap.logs[i].log < snap.logs[j].log })
+	return snap
+}
+
+// Release unpins the capture; the last outstanding release applies the
+// disk trim deferred while captures were in flight. The trim I/O runs
+// outside the lock so command execution never waits on it; the watermark
+// computed under the lock only falls below bases that can only advance,
+// so a capture taken after the unlock cannot lose entries to it.
+func (sn *smSnapshot) Release() {
+	sn.released.Do(func() {
+		s := sn.sm
+		s.mu.Lock()
+		s.captures--
+		var watermark uint64
+		doTrim := s.captures == 0 && s.trimPending && s.disk != nil
+		if doTrim {
+			s.trimPending = false
+			watermark, doTrim = s.diskTrimWatermark()
+		}
+		s.mu.Unlock()
+		if doTrim {
+			_ = s.disk.Trim(watermark)
+		}
+	})
+}
+
+// Serialize encodes the captured logs in ascending log-id order, so
+// identical states serialize to identical (checksummable) bytes. Entries
+// evicted from the cache before the capture are re-read from disk here,
+// off the delivery path (safe until Release: disk trims are deferred).
+func (sn *smSnapshot) Serialize() []byte {
+	disk := sn.sm.disk
 	var buf []byte
 	var tmp [8]byte
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(s.hosted)))
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(sn.logs)))
 	buf = append(buf, tmp[:4]...)
-	for l, ls := range s.hosted {
-		binary.LittleEndian.PutUint32(tmp[:4], uint32(l))
+	for _, ls := range sn.logs {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(ls.log))
 		buf = append(buf, tmp[:4]...)
 		binary.LittleEndian.PutUint64(tmp[:8], ls.base)
 		buf = append(buf, tmp[:8]...)
@@ -365,8 +469,8 @@ func (s *SM) Snapshot() []byte {
 		buf = append(buf, tmp[:8]...)
 		for i, e := range ls.entries {
 			v := e
-			if v == nil && s.disk != nil {
-				if rec, ok := s.disk.Get(diskKey(l, ls.base+uint64(i))); ok {
+			if v == nil && disk != nil {
+				if rec, ok := disk.Get(diskKey(ls.log, ls.base+uint64(i))); ok {
 					v = rec
 				}
 			}
@@ -375,6 +479,14 @@ func (s *SM) Snapshot() []byte {
 			buf = append(buf, v...)
 		}
 	}
+	return buf
+}
+
+// Snapshot serializes all hosted logs.
+func (s *SM) Snapshot() []byte {
+	snap := s.CaptureSnapshot()
+	buf := snap.Serialize()
+	snap.(*smSnapshot).Release()
 	return buf
 }
 

@@ -211,3 +211,160 @@ func TestSMExecuteBatchMatchesExecute(t *testing.T) {
 		}
 	}
 }
+
+// TestSMCaptureImmutableUnderAppends: a capture taken at one point must
+// serialize to exactly that point's state even as the live log keeps
+// appending and trimming (the cheap-capture contract of the non-blocking
+// checkpoint pipeline).
+func TestSMCaptureImmutableUnderAppends(t *testing.T) {
+	sm := NewSM(SMConfig{Hosted: []LogID{1}})
+	for i := 0; i < 5; i++ {
+		execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: []byte{byte(i)}})
+	}
+	snap := sm.CaptureSnapshot()
+
+	// Keep moving after the capture.
+	for i := 5; i < 20; i++ {
+		execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: []byte{byte(i)}})
+	}
+	execOp(t, sm, Op{Kind: OpTrim, Log: 1, Pos: 10})
+
+	sm2 := NewSM(SMConfig{Hosted: []LogID{1}})
+	if err := sm2.Restore(snap.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	if sm2.LenOf(1) != 5 {
+		t.Fatalf("restored capture len = %d, want 5", sm2.LenOf(1))
+	}
+	for i := 0; i < 5; i++ {
+		r := execOp(t, sm2, Op{Kind: OpRead, Log: 1, Pos: uint64(i)})
+		if r.Status != StatusOK || r.Value[0] != byte(i) {
+			t.Fatalf("capture read %d = %+v", i, r)
+		}
+	}
+}
+
+// TestSMSnapshotDeterministic: two servers that applied the same commands
+// must produce byte-identical snapshots (logs are serialized in ascending
+// log-id order, not map order), so snapshot checksums are comparable.
+func TestSMSnapshotDeterministic(t *testing.T) {
+	build := func() *SM {
+		sm := NewSM(SMConfig{Hosted: []LogID{5, 1, 9, 3, 7}})
+		for _, l := range []LogID{9, 1, 7, 3, 5} {
+			for i := 0; i < 3; i++ {
+				execOp(t, sm, Op{Kind: OpAppend, Log: l, Value: []byte{byte(l), byte(i)}})
+			}
+		}
+		return sm
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if !bytes.Equal(a, b) {
+		t.Error("identical states serialized to different bytes")
+	}
+	// And repeated snapshots of one SM agree too.
+	sm := build()
+	if !bytes.Equal(sm.Snapshot(), sm.Snapshot()) {
+		t.Error("repeated snapshots differ")
+	}
+}
+
+// TestSMCaptureDefersTrimUntilRelease: entries evicted to disk before a
+// capture must stay resolvable until the capture is released — a trim
+// racing the background checkpoint writer would otherwise delete them
+// from disk and the checkpoint would silently serialize holes. After the
+// release, the deferred disk trim must apply.
+func TestSMCaptureDefersTrimUntilRelease(t *testing.T) {
+	disk := storage.NewMemLog()
+	sm := NewSM(SMConfig{Hosted: []LogID{1}, Disk: disk, CacheLimit: 64})
+	big := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 5; i++ {
+		execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: big})
+	}
+	// Position 0 is evicted from the cache by now (64 B cap, 40 B entries).
+	snap := sm.CaptureSnapshot()
+	// A trim lands before the checkpoint writer serializes: the cache
+	// drops the early positions, but the disk trim is deferred.
+	execOp(t, sm, Op{Kind: OpTrim, Log: 1, Pos: 5})
+
+	sm2 := NewSM(SMConfig{Hosted: []LogID{1}})
+	if err := sm2.Restore(snap.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r := execOp(t, sm2, Op{Kind: OpRead, Log: 1, Pos: uint64(i)})
+		if r.Status != StatusOK || !bytes.Equal(r.Value, big) {
+			t.Fatalf("restored read %d = status %d (len %d); capture lost an evicted entry", i, r.Status, len(r.Value))
+		}
+	}
+
+	// Releasing the capture applies the deferred disk trim.
+	if _, ok := disk.Get(diskKey(1, 0)); !ok {
+		t.Fatal("disk entry gone before the capture was released")
+	}
+	snap.(interface{ Release() }).Release()
+	if _, ok := disk.Get(diskKey(1, 0)); ok {
+		t.Error("deferred disk trim not applied on release")
+	}
+	// Double release is harmless and does not unpin a later capture.
+	snap.(interface{ Release() }).Release()
+}
+
+// TestSMTrimDoesNotWipeOtherLogsOnSharedDisk: the backing store's Trim is
+// a global prefix drop over the packed (log, position) keyspace, so
+// trimming a higher-numbered log must not discard lower-numbered logs'
+// disk records — cache-evicted entries of those logs must stay readable
+// (and checkpointable).
+func TestSMTrimDoesNotWipeOtherLogsOnSharedDisk(t *testing.T) {
+	disk := storage.NewMemLog()
+	sm := NewSM(SMConfig{Hosted: []LogID{1, 2}, Disk: disk, CacheLimit: 64})
+	big := bytes.Repeat([]byte("y"), 40)
+	for i := 0; i < 5; i++ {
+		execOp(t, sm, Op{Kind: OpAppend, Log: 1, Value: big})
+	}
+	execOp(t, sm, Op{Kind: OpAppend, Log: 2, Value: []byte("two-0")})
+	execOp(t, sm, Op{Kind: OpAppend, Log: 2, Value: []byte("two-1")})
+
+	// Trim log 2: log 1's disk records (including cache-evicted position
+	// 0) must survive.
+	execOp(t, sm, Op{Kind: OpTrim, Log: 2, Pos: 1})
+	r := execOp(t, sm, Op{Kind: OpRead, Log: 1, Pos: 0})
+	if r.Status != StatusOK || !bytes.Equal(r.Value, big) {
+		t.Fatalf("log 1 evicted entry lost after trimming log 2: status %d", r.Status)
+	}
+	// And the snapshot still carries it.
+	sm2 := NewSM(SMConfig{Hosted: []LogID{1, 2}})
+	if err := sm2.Restore(sm.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	r = execOp(t, sm2, Op{Kind: OpRead, Log: 1, Pos: 0})
+	if r.Status != StatusOK || !bytes.Equal(r.Value, big) {
+		t.Fatalf("restored log 1 entry lost after trimming log 2: status %d", r.Status)
+	}
+	// Once log 1 itself is trimmed, the shared watermark may advance and
+	// drop its prefix from disk.
+	execOp(t, sm, Op{Kind: OpTrim, Log: 1, Pos: 5})
+	if _, ok := disk.Get(diskKey(1, 0)); ok {
+		t.Error("log 1 disk prefix survived its own trim")
+	}
+}
+
+// TestSMTrimWithLogZeroHostedNeverTrimsDisk: a hosted log 0 still
+// retaining position 0 occupies disk key 0, so no global watermark is
+// safe — trimming another log must leave the disk untouched rather than
+// wrapping the watermark and wiping log 0.
+func TestSMTrimWithLogZeroHostedNeverTrimsDisk(t *testing.T) {
+	disk := storage.NewMemLog()
+	sm := NewSM(SMConfig{Hosted: []LogID{0, 2}, Disk: disk, CacheLimit: 64})
+	big := bytes.Repeat([]byte("z"), 40)
+	for i := 0; i < 5; i++ {
+		execOp(t, sm, Op{Kind: OpAppend, Log: 0, Value: big})
+	}
+	execOp(t, sm, Op{Kind: OpAppend, Log: 2, Value: []byte("two")})
+	execOp(t, sm, Op{Kind: OpTrim, Log: 2, Pos: 1})
+	// Log 0's records — including the cache-evicted position 0 at disk
+	// key 0 — must survive.
+	r := execOp(t, sm, Op{Kind: OpRead, Log: 0, Pos: 0})
+	if r.Status != StatusOK || !bytes.Equal(r.Value, big) {
+		t.Fatalf("log 0 entry lost after trimming log 2: status %d", r.Status)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -218,10 +219,20 @@ type FileStore struct {
 	seq int
 }
 
-// NewFileStore opens (creating if needed) a checkpoint directory.
+// NewFileStore opens (creating if needed) a checkpoint directory and
+// sweeps stale .tmp files left by a crash between the temp write and the
+// rename — they are at best duplicates of an intact checkpoint and at
+// worst torn writes, never the newest durable state.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("recovery: create checkpoint dir: %w", err)
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				_ = os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
 	}
 	s := &FileStore{dir: dir}
 	nums := s.listNums()
@@ -257,8 +268,11 @@ func (s *FileStore) path(n int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("checkpoint-%09d.ckpt", n))
 }
 
-// Save writes the checkpoint synchronously (write + fsync + rename) and
-// prunes all but the two newest files.
+// Save writes the checkpoint synchronously (write + fsync + rename +
+// directory fsync) and prunes all but the two newest files. The directory
+// fsync matters: without it a crash after Save returns can lose the
+// rename, and the trim protocol may already have discarded consensus
+// instances on the strength of this "durable" checkpoint.
 func (s *FileStore) Save(c Checkpoint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -282,12 +296,30 @@ func (s *FileStore) Save(c Checkpoint) error {
 	if err := os.Rename(tmp, s.path(s.seq)); err != nil {
 		return err
 	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
 	nums := s.listNums()
 	for len(nums) > 2 {
 		_ = os.Remove(s.path(nums[0]))
 		nums = nums[1:]
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Windows cannot flush directory handles (and NTFS metadata
+// updates do not need it), so it is a no-op there.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.Close() }()
+	return d.Sync()
 }
 
 // Latest loads the newest intact checkpoint, falling back to the previous

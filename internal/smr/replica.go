@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,41 @@ type StateMachine interface {
 // returning the responses positionally.
 type BatchExecutor interface {
 	ExecuteBatch(groups []transport.RingID, ops [][]byte) [][]byte
+}
+
+// StateSnapshot is an immutable point-in-time capture of a state
+// machine's state. Serialize encodes the captured state; it may be called
+// from a background goroutine concurrently with new commands executing
+// against the live state, so implementations must not read mutable state.
+type StateSnapshot interface {
+	Serialize() []byte
+}
+
+// SnapshotCapturer is an optional StateMachine extension for non-blocking
+// checkpoints: CaptureSnapshot returns a cheap (ideally O(1)) immutable
+// view of the current state, letting the replica hand serialization to a
+// background checkpoint writer instead of stalling delivery for the full
+// encoding. CaptureSnapshot is called from the delivery goroutine at a
+// batch boundary; the returned snapshot must reflect exactly the state
+// after the last executed command.
+type SnapshotCapturer interface {
+	CaptureSnapshot() StateSnapshot
+}
+
+// ReleasableSnapshot is an optional StateSnapshot extension for state
+// machines that pin resources while a capture is outstanding (e.g. dLog
+// defers disk trims so lazily-resolved entries stay readable). The
+// checkpoint writer calls Release exactly once per capture — after
+// Serialize, or when the capture is superseded or dropped at shutdown.
+type ReleasableSnapshot interface {
+	Release()
+}
+
+// releaseSnapshot releases a capture's pinned resources, if any.
+func releaseSnapshot(s StateSnapshot) {
+	if r, ok := s.(ReleasableSnapshot); ok {
+		r.Release()
+	}
 }
 
 // ReplicaConfig configures a replica process.
@@ -68,6 +104,12 @@ type ReplicaConfig struct {
 	// CheckpointEvery takes a checkpoint after this many commands.
 	// Zero disables periodic checkpoints.
 	CheckpointEvery int
+	// SyncCheckpoints forces the legacy blocking behaviour: the full
+	// serialization and durable write run inline on the delivery
+	// goroutine, stalling every subscribed group for the duration. Only
+	// for comparison benchmarks (cmd/bench -ckpt); production replicas
+	// leave it false and use the background checkpoint writer.
+	SyncCheckpoints bool
 }
 
 // Replica drives a replicated state machine: it subscribes to the
@@ -76,7 +118,8 @@ type ReplicaConfig struct {
 type Replica struct {
 	cfg     ReplicaConfig
 	tr      transport.Transport
-	batchSM BatchExecutor // non-nil when SM supports batch apply
+	batchSM BatchExecutor    // non-nil when SM supports batch apply
+	snapSM  SnapshotCapturer // non-nil when SM supports cheap capture
 
 	// mu guards safeVec, the only state shared with the service loop
 	// (trim and recovery RPCs). Everything below it is owned by the
@@ -84,6 +127,20 @@ type Replica struct {
 	// RPC could wait on.
 	mu      sync.Mutex
 	safeVec recovery.Vector // vector of the last durable checkpoint
+
+	// Checkpoint writer pipeline: the delivery goroutine captures
+	// (vector, cursor, dedup, snapshot) at a batch boundary and parks it
+	// in ckptPending; the writer goroutine serializes and persists it.
+	// At most one capture is pending — a newer capture supersedes an
+	// unwritten older one (their waiters carry over), so a slow disk
+	// coalesces checkpoints instead of queueing them.
+	ckptMu      sync.Mutex
+	ckptPending *ckptCapture
+	ckptKick    chan struct{} // signals the writer (buffered, 1)
+	ckptDone    chan struct{} // closed when the writer exits
+	ckptRetry   atomic.Bool   // a Save failed; retry at the next batch boundary
+	ckptStallNs atomic.Int64  // max time checkpointing blocked delivery
+	coalesced   atomic.Uint64 // captures superseded before being written
 
 	// Merge-goroutine-owned execution state.
 	dedup     map[transport.ProcessID]*clientWindow // duplicate suppression
@@ -164,6 +221,7 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 	}
 	best := local
 	bestPeer := transport.ProcessID(0)
+	remote := false
 
 	tr := opts.Core.Router.Transport()
 	if len(opts.Peers) > 0 && opts.Service != nil {
@@ -197,10 +255,20 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 				break collect
 			}
 		}
-		// Fetch the remote snapshot if a peer is ahead of us.
+		// Fetch the remote snapshot if a peer is ahead of us. The peer
+		// streams it as KindSnapshotChunk frames (a monolithic response
+		// could not carry a state larger than one transport frame);
+		// reassemble and verify before adopting it. On ANY failure —
+		// timeout, inconsistent framing, CRC mismatch, undecodable
+		// checkpoint — fall back to the LOCAL checkpoint: a vector
+		// without its state must never survive here, because restarting
+		// with a safeVec we do not actually hold would let the trim
+		// protocol (Predicate 2) discard instances we still need.
 		if bestPeer != 0 {
 			_ = tr.Send(bestPeer, transport.Message{Kind: transport.KindSnapshotReq, Seq: reqSeq})
 			deadline := time.After(opts.Timeout)
+			var asm *snapshotAssembly
+			best = local
 		fetch:
 			for {
 				select {
@@ -208,19 +276,31 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 					if !ok {
 						break fetch
 					}
-					if m.Kind != transport.KindSnapshotResp || m.Seq != reqSeq {
+					if m.Kind != transport.KindSnapshotChunk || m.Seq != reqSeq {
 						continue
 					}
-					cp, err := recovery.DecodeCheckpoint(m.Payload)
+					if asm == nil {
+						if asm = newSnapshotAssembly(m); asm == nil {
+							break fetch
+						}
+					}
+					done, err := asm.add(m)
+					if err != nil {
+						break fetch
+					}
+					if !done {
+						continue
+					}
+					cp, err := recovery.DecodeCheckpoint(asm.buf)
 					if err != nil {
 						break fetch
 					}
 					best = cp
+					remote = true
 					break fetch
 				case <-deadline:
-					// Fall back to the local checkpoint; the
-					// acceptors still have the gap (Predicate 5).
-					best = local
+					// The acceptors still have the gap between the
+					// local checkpoint and the tip (Predicate 5).
 					break fetch
 				}
 			}
@@ -238,7 +318,7 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 	if err != nil {
 		return BuildNodeResult{}, err
 	}
-	return BuildNodeResult{Node: node, Checkpoint: best, Remote: bestPeer != 0 && len(best.State) > 0}, nil
+	return BuildNodeResult{Node: node, Checkpoint: best, Remote: remote}, nil
 }
 
 // Checkpoint state layout: cursorLen(4) || cursor || dedupLen(4) || dedup ||
@@ -398,32 +478,47 @@ func (w *clientWindow) record(seq uint64, resp []byte) {
 	}
 }
 
+// encodeDedup serializes the duplicate-suppression floors in ascending
+// client-id order, so identical dedup states encode to identical
+// (checksummable) bytes regardless of map iteration order.
 func encodeDedup(dedup map[transport.ProcessID]*clientWindow) []byte {
-	buf := make([]byte, 4, 4+12*len(dedup))
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(dedup)))
+	ids := make([]transport.ProcessID, 0, len(dedup))
+	for c := range dedup {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 4, 4+12*len(ids))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(ids)))
 	var tmp [8]byte
-	for c, w := range dedup {
+	for _, c := range ids {
 		binary.LittleEndian.PutUint32(tmp[:4], uint32(c))
 		buf = append(buf, tmp[:4]...)
-		binary.LittleEndian.PutUint64(tmp[:8], w.floor)
+		binary.LittleEndian.PutUint64(tmp[:8], dedup[c].floor)
 		buf = append(buf, tmp[:8]...)
 	}
 	return buf
 }
 
-func decodeDedup(buf []byte) map[transport.ProcessID]*clientWindow {
-	out := make(map[transport.ProcessID]*clientWindow)
+// decodeDedup parses encodeDedup output. Truncated or oversized input
+// returns ErrCorrupt instead of a silently partial table — a damaged dedup
+// table restored into a replica would re-execute commands it already
+// executed.
+func decodeDedup(buf []byte) (map[transport.ProcessID]*clientWindow, error) {
 	if len(buf) < 4 {
-		return out
+		return nil, recovery.ErrCorrupt
 	}
 	n := int(binary.LittleEndian.Uint32(buf[:4]))
 	buf = buf[4:]
-	for i := 0; i < n && len(buf) >= 12; i++ {
+	if len(buf) != 12*n {
+		return nil, recovery.ErrCorrupt
+	}
+	out := make(map[transport.ProcessID]*clientWindow, n)
+	for i := 0; i < n; i++ {
 		c := transport.ProcessID(binary.LittleEndian.Uint32(buf[:4]))
 		out[c] = newClientWindow(binary.LittleEndian.Uint64(buf[4:12]))
 		buf = buf[12:]
 	}
-	return out
+	return out, nil
 }
 
 // NewReplica starts a replica: it restores the recovered checkpoint into
@@ -438,10 +533,13 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 		dedup:    make(map[transport.ProcessID]*clientWindow),
 		safeVec:  make(recovery.Vector),
 		runKeys:  make(map[cmdKey]struct{}),
+		ckptKick: make(chan struct{}, 1),
+		ckptDone: make(chan struct{}),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
 	r.batchSM, _ = cfg.SM.(BatchExecutor)
+	r.snapSM, _ = cfg.SM.(SnapshotCapturer)
 	if len(recovered.State) > 0 {
 		_, dedup, snap, err := decodeStateParts(recovered.State)
 		if err != nil {
@@ -450,7 +548,9 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 		if err := cfg.SM.Restore(snap); err != nil {
 			return nil, fmt.Errorf("smr: restore snapshot: %w", err)
 		}
-		r.dedup = decodeDedup(dedup)
+		if r.dedup, err = decodeDedup(dedup); err != nil {
+			return nil, fmt.Errorf("smr: corrupt recovered dedup table: %w", err)
+		}
 		r.safeVec = recovered.Vector.Clone()
 		// Re-persist locally so our own store has what we installed.
 		if cfg.Checkpoints != nil {
@@ -474,6 +574,7 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 	if err := cfg.Node.SubscribeBatch(r.deliverBatch, cfg.Groups...); err != nil {
 		return nil, fmt.Errorf("smr: subscribe: %w", err)
 	}
+	go r.checkpointWriter()
 	go r.serviceLoop()
 	return r, nil
 }
@@ -528,6 +629,11 @@ func (r *Replica) deliverBatch(ds []core.Delivery) {
 		// checkpoint — taking several at the same boundary would
 		// snapshot identical state.
 		r.sinceCkpt %= r.cfg.CheckpointEvery
+	} else if r.cfg.CheckpointEvery > 0 && r.ckptRetry.Load() {
+		// A previous durable write failed: retry at this batch boundary
+		// instead of silently waiting out another full interval while
+		// trim stays pinned at the stale safeVec.
+		takeCkpt = true
 	}
 
 	if executed > 0 {
@@ -536,7 +642,7 @@ func (r *Replica) deliverBatch(ds []core.Delivery) {
 	// Checkpoint at the batch boundary: DeliveredVector/MergeCursor
 	// describe exactly the state after this batch (Section 5.2).
 	if takeCkpt {
-		r.checkpoint()
+		r.checkpoint(nil)
 	}
 	// Flush the batch's client responses. Ring carries the delivery
 	// group, Count the partition tag, so clients can both match
@@ -601,33 +707,189 @@ func (r *Replica) settleRun(i int, out []byte) {
 	}
 }
 
-// checkpoint snapshots the state machine with its identifying tuple and
-// merge cursor. Runs on the merge goroutine at a batch boundary (inside
-// deliverBatch), so vector, cursor and snapshot are mutually consistent
-// (Section 5.2).
-func (r *Replica) checkpoint() {
+// ckptCapture is everything the checkpoint writer needs, captured
+// consistently at a batch boundary on the merge goroutine. Exactly one of
+// snap/state is set: snap when the state machine supports cheap capture
+// (serialization then runs on the writer), state when the full snapshot
+// had to be serialized at capture time.
+type ckptCapture struct {
+	vector  recovery.Vector
+	cursor  core.Cursor
+	dedup   []byte
+	snap    StateSnapshot
+	state   []byte
+	waiters []chan bool // signalled (buffered) once durably written or dropped
+}
+
+// checkpoint captures the state machine with its identifying tuple and
+// merge cursor and hands the capture to the background writer. Runs on the
+// merge goroutine at a batch boundary (inside deliverBatch), so vector,
+// cursor and snapshot are mutually consistent (Section 5.2). With a
+// SnapshotCapturer state machine the blocking part is an O(1) root capture
+// plus the (small) dedup encoding — microseconds, independent of state
+// size; serialization, CRC and the durable write all happen off the
+// delivery path. safeVec advances only on the writer's durability ack, so
+// trim never outruns a checkpoint that is actually on disk.
+func (r *Replica) checkpoint(waiter chan bool) {
 	if r.cfg.Checkpoints == nil {
+		if waiter != nil {
+			waiter <- false
+		}
 		return
 	}
-	vec := r.cfg.Node.DeliveredVector()
-	cur := r.cfg.Node.MergeCursor()
-	dedup := encodeDedup(r.dedup) // merge-goroutine-owned state
-	state := encodeStateParts(cur, dedup, r.cfg.SM.Snapshot())
-	cp := recovery.Checkpoint{Vector: vec, State: state}
-	if err := r.cfg.Checkpoints.Save(cp); err != nil {
-		return // keep serving; trim just cannot advance
+	start := time.Now()
+	r.ckptRetry.Store(false)
+	c := &ckptCapture{
+		vector: r.cfg.Node.DeliveredVector(),
+		cursor: r.cfg.Node.MergeCursor(),
+		dedup:  encodeDedup(r.dedup), // merge-goroutine-owned state
+	}
+	if waiter != nil {
+		c.waiters = append(c.waiters, waiter)
+	}
+	if r.snapSM != nil {
+		c.snap = r.snapSM.CaptureSnapshot()
+	} else {
+		c.state = r.cfg.SM.Snapshot()
+	}
+	if r.cfg.SyncCheckpoints {
+		r.writeCheckpoint(c) // legacy blocking path, for comparison only
+	} else {
+		r.enqueueCheckpoint(c)
+	}
+	r.noteStall(time.Since(start))
+}
+
+// enqueueCheckpoint parks a capture for the writer, coalescing: if an
+// older capture is still waiting, the newer one supersedes it (at most one
+// pending), carrying the old capture's waiters since they will be acked by
+// an at-least-as-new durable checkpoint.
+func (r *Replica) enqueueCheckpoint(c *ckptCapture) {
+	r.ckptMu.Lock()
+	if prev := r.ckptPending; prev != nil {
+		c.waiters = append(c.waiters, prev.waiters...)
+		if prev.snap != nil {
+			releaseSnapshot(prev.snap)
+		}
+		r.coalesced.Add(1)
+	}
+	r.ckptPending = c
+	r.ckptMu.Unlock()
+	select {
+	case r.ckptKick <- struct{}{}:
+	default:
+	}
+}
+
+// writeCheckpoint serializes and durably persists one capture, advancing
+// safeVec on success. On failure it arms the retry flag so the next batch
+// boundary re-captures instead of waiting out a full interval.
+func (r *Replica) writeCheckpoint(c *ckptCapture) {
+	ok := false
+	defer func() {
+		for _, w := range c.waiters {
+			w <- ok
+		}
+	}()
+	snap := c.state
+	if c.snap != nil {
+		snap = c.snap.Serialize()
+		releaseSnapshot(c.snap)
+	}
+	state := encodeStateParts(c.cursor, c.dedup, snap)
+	if err := r.cfg.Checkpoints.Save(recovery.Checkpoint{Vector: c.vector, State: state}); err != nil {
+		r.ckptRetry.Store(true)
+		return // keep serving; trim just cannot advance yet
 	}
 	r.mu.Lock()
-	r.safeVec = vec.Clone()
+	if recovery.Compare(c.vector, r.safeVec) > 0 {
+		r.safeVec = c.vector.Clone()
+	}
 	r.mu.Unlock()
 	r.checkpoints.Add(1)
 }
 
-// ForceCheckpoint takes a checkpoint outside the delivery path; used by
-// services that checkpoint on a timer while idle. It is only safe when no
-// command is concurrently executing (the caller pauses traffic), so it is
-// primarily for tests and controlled experiments.
-func (r *Replica) ForceCheckpoint() { r.checkpoint() }
+// checkpointWriter is the dedicated background goroutine that turns
+// captures into durable checkpoints, one at a time.
+func (r *Replica) checkpointWriter() {
+	defer close(r.ckptDone)
+	defer func() {
+		// Fail any capture still parked at shutdown so waiters unblock
+		// and pinned resources release.
+		r.ckptMu.Lock()
+		c := r.ckptPending
+		r.ckptPending = nil
+		r.ckptMu.Unlock()
+		if c != nil {
+			if c.snap != nil {
+				releaseSnapshot(c.snap)
+			}
+			for _, w := range c.waiters {
+				w <- false
+			}
+		}
+	}()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.ckptKick:
+			for {
+				r.ckptMu.Lock()
+				c := r.ckptPending
+				r.ckptPending = nil
+				r.ckptMu.Unlock()
+				if c == nil {
+					break
+				}
+				r.writeCheckpoint(c)
+			}
+		}
+	}
+}
+
+// noteStall records the time a checkpoint blocked the delivery goroutine
+// (capture only on the async path; capture+serialize+write when
+// SyncCheckpoints).
+func (r *Replica) noteStall(d time.Duration) {
+	for {
+		cur := r.ckptStallNs.Load()
+		if int64(d) <= cur || r.ckptStallNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// CheckpointStallMax reports the longest delivery stall a checkpoint has
+// caused since start (instrumentation for cmd/bench -ckpt).
+func (r *Replica) CheckpointStallMax() time.Duration {
+	return time.Duration(r.ckptStallNs.Load())
+}
+
+// CheckpointsCoalesced reports captures superseded before being written
+// (instrumentation).
+func (r *Replica) CheckpointsCoalesced() uint64 { return r.coalesced.Load() }
+
+// ForceCheckpoint takes a checkpoint outside the delivery path and waits
+// for it to be durable; used by services that checkpoint on a timer while
+// idle. It is only safe when no command is concurrently executing (the
+// caller pauses traffic), so it is primarily for tests and controlled
+// experiments.
+func (r *Replica) ForceCheckpoint() {
+	if r.cfg.Checkpoints == nil {
+		return
+	}
+	if r.cfg.SyncCheckpoints {
+		r.checkpoint(nil)
+		return
+	}
+	w := make(chan bool, 1)
+	r.checkpoint(w)
+	select {
+	case <-w:
+	case <-r.done:
+	}
+}
 
 // serviceLoop answers trim and recovery RPCs.
 func (r *Replica) serviceLoop() {
@@ -679,11 +941,9 @@ func (r *Replica) handleService(m transport.Message) {
 		if !ok {
 			return
 		}
-		_ = r.tr.Send(m.From, transport.Message{
-			Kind:    transport.KindSnapshotResp,
-			Seq:     m.Seq,
-			Payload: cp.Encode(),
-		})
+		// Stream the checkpoint in bounded chunks; a monolithic frame
+		// cannot carry states past the transport frame cap.
+		sendSnapshotChunks(r.tr, m.From, m.Seq, cp.Encode())
 	}
 }
 
@@ -700,11 +960,15 @@ func (r *Replica) SafeVector() recovery.Vector {
 	return r.safeVec.Clone()
 }
 
-// Stop halts the replica and its node.
+// Stop halts the replica, its checkpoint writer and its node. The node
+// stops first — Node.Stop joins the merge goroutine — so no capture can
+// be enqueued after the checkpoint writer drains and every capture is
+// written or released exactly once.
 func (r *Replica) Stop() {
 	r.stopOnce.Do(func() {
-		close(r.done)
 		r.cfg.Node.Stop()
+		close(r.done)
 		<-r.loopDone
+		<-r.ckptDone
 	})
 }

@@ -1,0 +1,116 @@
+package smr
+
+import (
+	"hash/crc32"
+
+	"amcast/internal/recovery"
+	"amcast/internal/transport"
+)
+
+// snapshotChunkSize bounds one KindSnapshotChunk payload. It is kept far
+// below transport's 64 MB frame cap so a multi-gigabyte checkpoint streams
+// as many small frames instead of one monolithic KindSnapshotResp-style
+// message that could never fit a frame (and would previously fail recovery
+// silently). Variable so tests can force multi-chunk transfers with small
+// states.
+var snapshotChunkSize = 256 << 10
+
+// sendSnapshotChunks streams an encoded checkpoint to a recovering peer as
+// KindSnapshotChunk frames. Each frame carries the request Seq, its chunk
+// index (Votes), the chunk count (Count), the byte offset (Instance), the
+// total encoded size (Value.ID) and the CRC of the full encoding (Ballot),
+// so the receiver can reassemble and verify before decoding.
+func sendSnapshotChunks(tr transport.Transport, to transport.ProcessID, seq uint64, enc []byte) {
+	crc := crc32.ChecksumIEEE(enc)
+	total := (len(enc) + snapshotChunkSize - 1) / snapshotChunkSize
+	if total == 0 {
+		total = 1
+	}
+	for i := 0; i < total; i++ {
+		off := i * snapshotChunkSize
+		end := off + snapshotChunkSize
+		if end > len(enc) {
+			end = len(enc)
+		}
+		if tr.Send(to, transport.Message{
+			Kind:     transport.KindSnapshotChunk,
+			Seq:      seq,
+			Instance: uint64(off),
+			Count:    uint32(total),
+			Votes:    uint32(i),
+			Ballot:   crc,
+			Value:    transport.Value{ID: uint64(len(enc))},
+			Payload:  enc[off:end],
+		}) != nil {
+			return // link down; the peer's fetch deadline handles it
+		}
+	}
+}
+
+// Assembly sanity caps: the claimed transfer size and chunk count come
+// from a peer's frame, so a corrupt first chunk must not drive the
+// allocations below — reject absurd framing and fall back to the local
+// checkpoint instead of attempting a multi-terabyte make.
+const (
+	maxSnapshotTransfer uint64 = 16 << 30 // bytes of reassembled checkpoint
+	maxSnapshotChunks          = 1 << 20
+)
+
+// snapshotAssembly reassembles a chunked snapshot transfer.
+type snapshotAssembly struct {
+	buf  []byte
+	got  []bool
+	left int
+	crc  uint32
+}
+
+// newSnapshotAssembly sizes an assembly from the first chunk's framing.
+// Returns nil if the framing is nonsensical.
+func newSnapshotAssembly(m transport.Message) *snapshotAssembly {
+	total := int(m.Count)
+	size64 := m.Value.ID
+	// The int round-trip additionally rejects sizes past the platform's
+	// address space (32-bit builds cap below maxSnapshotTransfer).
+	if total < 1 || total > maxSnapshotChunks || size64 > maxSnapshotTransfer ||
+		uint64(int(size64)) != size64 || size64 > 0 && uint64(total) > size64 {
+		return nil
+	}
+	size := int(size64)
+	return &snapshotAssembly{
+		buf:  make([]byte, size),
+		got:  make([]bool, total),
+		left: total,
+		crc:  m.Ballot,
+	}
+}
+
+// add incorporates one chunk. It returns done=true once every chunk has
+// arrived and the reassembled bytes pass the transfer CRC; a non-nil error
+// reports an inconsistent or corrupt transfer (the caller falls back to
+// its local checkpoint).
+func (a *snapshotAssembly) add(m transport.Message) (done bool, err error) {
+	idx := int(m.Votes)
+	if idx < 0 || idx >= len(a.got) || m.Ballot != a.crc || m.Value.ID != uint64(len(a.buf)) {
+		return false, recovery.ErrCorrupt
+	}
+	if m.Instance > uint64(len(a.buf)) {
+		return false, recovery.ErrCorrupt
+	}
+	off := int(m.Instance)
+	if off+len(m.Payload) > len(a.buf) {
+		return false, recovery.ErrCorrupt
+	}
+	if a.got[idx] {
+		return false, nil // duplicate frame (retransmission); ignore
+	}
+	copy(a.buf[off:], m.Payload)
+	a.got[idx] = true
+	a.left--
+	if a.left > 0 {
+		return false, nil
+	}
+	if crc32.ChecksumIEEE(a.buf) != a.crc {
+		return true, recovery.ErrCorrupt
+	}
+	return true, nil
+}

@@ -30,8 +30,9 @@ func NewSM() *SM {
 }
 
 var (
-	_ smr.StateMachine  = (*SM)(nil)
-	_ smr.BatchExecutor = (*SM)(nil)
+	_ smr.StateMachine     = (*SM)(nil)
+	_ smr.BatchExecutor    = (*SM)(nil)
+	_ smr.SnapshotCapturer = (*SM)(nil)
 )
 
 // Execute applies one encoded operation.
@@ -111,21 +112,40 @@ func (s *SM) Len() int {
 	return s.db.Len()
 }
 
-// Snapshot serializes the database: count(8) then length-prefixed pairs in
-// key order.
-func (s *SM) Snapshot() []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var buf []byte
+// dbSnapshot adapts a captured treap version to smr.StateSnapshot.
+type dbSnapshot struct {
+	db treapSnapshot
+}
+
+// Serialize encodes the captured database: count(8) then length-prefixed
+// pairs in key order. Runs off the delivery path (the captured version is
+// immutable), so serialization cost no longer stalls delivery.
+func (d dbSnapshot) Serialize() []byte {
+	buf := make([]byte, 0, 8+d.db.Len()*16)
 	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], uint64(s.db.Len()))
+	binary.LittleEndian.PutUint64(tmp[:], uint64(d.db.Len()))
 	buf = append(buf, tmp[:]...)
-	s.db.All(func(k string, v []byte) bool {
+	d.db.All(func(k string, v []byte) bool {
 		buf = appendString(buf, k)
 		buf = appendBytes(buf, v)
 		return true
 	})
 	return buf
+}
+
+// CaptureSnapshot captures the current database version in O(1) — the
+// treap is copy-on-write, so the returned view shares structure with the
+// live tree but never changes.
+func (s *SM) CaptureSnapshot() smr.StateSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return dbSnapshot{db: s.db.snapshot()}
+}
+
+// Snapshot serializes the database: count(8) then length-prefixed pairs in
+// key order.
+func (s *SM) Snapshot() []byte {
+	return s.CaptureSnapshot().Serialize()
 }
 
 // Restore replaces the database with a snapshot.
@@ -172,6 +192,9 @@ type ServerConfig struct {
 	Checkpoints recovery.Store
 	// CheckpointEvery commands between checkpoints (0 disables).
 	CheckpointEvery int
+	// SyncCheckpoints forces the legacy blocking checkpoint path
+	// (benchmark comparison only; see smr.ReplicaConfig).
+	SyncCheckpoints bool
 	// Ring tunes the consensus rings.
 	Ring core.RingOptions
 	// Batch bounds the delivery batches executed by the replica.
@@ -239,6 +262,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		SM:              sm,
 		Checkpoints:     cfg.Checkpoints,
 		CheckpointEvery: cfg.CheckpointEvery,
+		SyncCheckpoints: cfg.SyncCheckpoints,
 	}, built.Checkpoint)
 	if err != nil {
 		built.Node.Stop()

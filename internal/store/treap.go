@@ -20,17 +20,35 @@ import (
 // sorted database at every replica (the paper stores entries "in an
 // in-memory tree"). Expected O(log n) insert/delete/lookup and in-order
 // range iteration for scans.
+//
+// The tree is persistent (path-copying copy-on-write): nodes are never
+// mutated once linked into a root, so Put and Delete rebuild only the
+// O(log n) nodes on the touched path and share every other subtree with
+// the previous version. snapshot() therefore captures a consistent
+// point-in-time view of the whole database in O(1) — the foundation of
+// the replica's non-blocking checkpoint pipeline, where serialization
+// runs on a background goroutine while new commands keep executing
+// against newer roots.
 type treap struct {
 	root *treapNode
 	size int
 	rng  *rand.Rand
 }
 
+// treapNode is immutable after being linked into a published root; updates
+// clone the node instead of mutating it in place.
 type treapNode struct {
 	key         string
 	value       []byte
 	priority    int64
 	left, right *treapNode
+}
+
+// clone returns a fresh mutable copy of n; callers may mutate the copy
+// freely until it is linked into a root.
+func (n *treapNode) clone() *treapNode {
+	c := *n
+	return &c
 }
 
 // newTreap builds an empty tree with a deterministic priority source so
@@ -41,6 +59,28 @@ func newTreap() *treap {
 
 // Len reports the number of entries.
 func (t *treap) Len() int { return t.size }
+
+// snapshot captures the current version of the tree in O(1). The returned
+// view is immutable: later Put/Delete calls produce new roots and never
+// touch the captured one.
+func (t *treap) snapshot() treapSnapshot {
+	return treapSnapshot{root: t.root, size: t.size}
+}
+
+// treapSnapshot is a point-in-time immutable view of a treap, safe to read
+// from any goroutine concurrently with writes to the live tree.
+type treapSnapshot struct {
+	root *treapNode
+	size int
+}
+
+// Len reports the number of entries in the captured version.
+func (s treapSnapshot) Len() int { return s.size }
+
+// All calls fn for every captured entry in ascending key order.
+func (s treapSnapshot) All(fn func(key string, value []byte) bool) {
+	allNodes(s.root, fn)
+}
 
 // Get returns the value stored under key.
 func (t *treap) Get(key string) ([]byte, bool) {
@@ -73,24 +113,25 @@ func (t *treap) put(n *treapNode, key string, value []byte) (*treapNode, bool) {
 	if n == nil {
 		return &treapNode{key: key, value: value, priority: t.rng.Int63()}, false
 	}
+	nc := n.clone()
 	switch c := strings.Compare(key, n.key); {
 	case c == 0:
-		n.value = value
-		return n, true
+		nc.value = value
+		return nc, true
 	case c < 0:
 		var existed bool
-		n.left, existed = t.put(n.left, key, value)
-		if n.left.priority > n.priority {
-			n = rotateRight(n)
+		nc.left, existed = t.put(n.left, key, value)
+		if nc.left.priority > nc.priority {
+			nc = rotateRight(nc)
 		}
-		return n, existed
+		return nc, existed
 	default:
 		var existed bool
-		n.right, existed = t.put(n.right, key, value)
-		if n.right.priority > n.priority {
-			n = rotateLeft(n)
+		nc.right, existed = t.put(n.right, key, value)
+		if nc.right.priority > nc.priority {
+			nc = rotateLeft(nc)
 		}
-		return n, existed
+		return nc, existed
 	}
 }
 
@@ -110,34 +151,49 @@ func (t *treap) del(n *treapNode, key string) (*treapNode, bool) {
 	}
 	switch c := strings.Compare(key, n.key); {
 	case c < 0:
-		var existed bool
-		n.left, existed = t.del(n.left, key)
-		return n, existed
+		nl, existed := t.del(n.left, key)
+		if !existed {
+			return n, false
+		}
+		nc := n.clone()
+		nc.left = nl
+		return nc, true
 	case c > 0:
-		var existed bool
-		n.right, existed = t.del(n.right, key)
-		return n, existed
+		nr, existed := t.del(n.right, key)
+		if !existed {
+			return n, false
+		}
+		nc := n.clone()
+		nc.right = nr
+		return nc, true
 	default:
-		return t.merge(n.left, n.right), true
+		return merge(n.left, n.right), true
 	}
 }
 
-// merge joins two treaps where every key in a precedes every key in b.
-func (t *treap) merge(a, b *treapNode) *treapNode {
+// merge joins two treaps where every key in a precedes every key in b,
+// cloning the spine it descends so shared subtrees stay immutable.
+func merge(a, b *treapNode) *treapNode {
 	switch {
 	case a == nil:
 		return b
 	case b == nil:
 		return a
 	case a.priority > b.priority:
-		a.right = t.merge(a.right, b)
-		return a
+		ac := a.clone()
+		ac.right = merge(a.right, b)
+		return ac
 	default:
-		b.left = t.merge(a, b.left)
-		return b
+		bc := b.clone()
+		bc.left = merge(a, b.left)
+		return bc
 	}
 }
 
+// rotateRight and rotateLeft rebalance freshly cloned path nodes: put()
+// only rotates when the rotated child was just returned by its own
+// recursive call — a private copy this update owns — so mutating both
+// nodes in place is safe and avoids a second clone.
 func rotateRight(n *treapNode) *treapNode {
 	l := n.left
 	n.left = l.right
@@ -155,15 +211,15 @@ func rotateLeft(n *treapNode) *treapNode {
 // Range calls fn for every entry with lo <= key <= hi in ascending key
 // order; fn returning false stops the iteration.
 func (t *treap) Range(lo, hi string, fn func(key string, value []byte) bool) {
-	t.rangeNode(t.root, lo, hi, fn)
+	rangeNodes(t.root, lo, hi, fn)
 }
 
-func (t *treap) rangeNode(n *treapNode, lo, hi string, fn func(string, []byte) bool) bool {
+func rangeNodes(n *treapNode, lo, hi string, fn func(string, []byte) bool) bool {
 	if n == nil {
 		return true
 	}
 	if strings.Compare(n.key, lo) >= 0 {
-		if !t.rangeNode(n.left, lo, hi, fn) {
+		if !rangeNodes(n.left, lo, hi, fn) {
 			return false
 		}
 	}
@@ -173,7 +229,7 @@ func (t *treap) rangeNode(n *treapNode, lo, hi string, fn func(string, []byte) b
 		}
 	}
 	if strings.Compare(n.key, hi) <= 0 {
-		if !t.rangeNode(n.right, lo, hi, fn) {
+		if !rangeNodes(n.right, lo, hi, fn) {
 			return false
 		}
 	}
@@ -182,18 +238,18 @@ func (t *treap) rangeNode(n *treapNode, lo, hi string, fn func(string, []byte) b
 
 // All calls fn for every entry in ascending key order.
 func (t *treap) All(fn func(key string, value []byte) bool) {
-	t.all(t.root, fn)
+	allNodes(t.root, fn)
 }
 
-func (t *treap) all(n *treapNode, fn func(string, []byte) bool) bool {
+func allNodes(n *treapNode, fn func(string, []byte) bool) bool {
 	if n == nil {
 		return true
 	}
-	if !t.all(n.left, fn) {
+	if !allNodes(n.left, fn) {
 		return false
 	}
 	if !fn(n.key, n.value) {
 		return false
 	}
-	return t.all(n.right, fn)
+	return allNodes(n.right, fn)
 }

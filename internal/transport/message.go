@@ -71,8 +71,12 @@ const (
 	KindCheckpointResp
 	// KindSnapshotReq asks a peer replica for the full checkpoint bytes.
 	KindSnapshotReq
-	// KindSnapshotResp carries checkpoint bytes.
-	KindSnapshotResp
+	// KindSnapshotChunk carries one chunk of a streamed checkpoint:
+	// Instance is the byte offset, Votes the chunk index, Count the chunk
+	// count, Value.ID the total encoded size and Ballot the CRC of the
+	// whole encoding. Replaces the former monolithic snapshot response,
+	// which could not carry states larger than a single frame.
+	KindSnapshotChunk
 )
 
 var kindNames = map[Kind]string{
@@ -91,7 +95,7 @@ var kindNames = map[Kind]string{
 	KindCheckpointReq:  "CheckpointReq",
 	KindCheckpointResp: "CheckpointResp",
 	KindSnapshotReq:    "SnapshotReq",
-	KindSnapshotResp:   "SnapshotResp",
+	KindSnapshotChunk:  "SnapshotChunk",
 }
 
 func (k Kind) String() string {
