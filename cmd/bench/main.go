@@ -36,7 +36,8 @@ func run() error {
 	delivery := flag.Bool("delivery", false, "run the delivery-pipeline benchmark (per-message vs batched)")
 	ioBench := flag.Bool("io", false, "run the acceptor I/O benchmark (per-put fsync vs group commit)")
 	ckptBench := flag.Bool("ckpt", false, "run the checkpoint-pipeline benchmark (sync-seed vs COW-async)")
-	benchJSON := flag.String("json", "", "write the -delivery, -io or -ckpt benchmark result to this JSON file")
+	reconfigBench := flag.Bool("reconfig", false, "run the online-reconfiguration benchmark (live partition split under load)")
+	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt or -reconfig benchmark result to this JSON file")
 	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
@@ -51,21 +52,21 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench {
+	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench {
 		flag.Usage()
-		return fmt.Errorf("pass -fig, -ablation, -delivery, -io or -ckpt")
+		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt or -reconfig")
 	}
 	selected := 0
-	for _, b := range []bool{*delivery, *ioBench, *ckptBench} {
+	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench} {
 		if b {
 			selected++
 		}
 	}
 	if selected > 1 && *benchJSON != "" {
-		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt")
+		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig")
 	}
 	if selected == 0 && *benchJSON != "" {
-		return fmt.Errorf("-json applies to the -delivery, -io and -ckpt benchmarks only")
+		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt and -reconfig benchmarks only")
 	}
 	if !*delivery && *seedBaseline > 0 {
 		return fmt.Errorf("-seed-baseline applies to the -delivery benchmark only")
@@ -108,6 +109,19 @@ func run() error {
 
 	if *ckptBench {
 		res, err := bench.CkptBench(o)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+	}
+
+	if *reconfigBench {
+		res, err := bench.ReconfigBench(o)
 		if err != nil {
 			return err
 		}

@@ -16,7 +16,10 @@ func TestCkptBenchShort(t *testing.T) {
 	ckptRecordCounts = []int{512}
 	defer func() { ckptRecordCounts = oldSizes }()
 
-	res, err := CkptBench(Options{Out: io.Discard, Duration: 300 * time.Millisecond})
+	// The window must comfortably exceed ckptEvery commands even on a
+	// slow (race-instrumented) host, or no checkpoint interval elapses
+	// and the run legitimately reports zero checkpoints.
+	res, err := CkptBench(Options{Out: io.Discard, Duration: 800 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

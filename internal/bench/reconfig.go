@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amcast/internal/cluster"
+	"amcast/internal/coord"
+	"amcast/internal/core"
+	"amcast/internal/metrics"
+	"amcast/internal/netem"
+	"amcast/internal/reconfig"
+	"amcast/internal/store"
+	"amcast/internal/transport"
+)
+
+// ReconfigRow is one live-split measurement: a range-partitioned store
+// under sustained closed-loop update load while the partition splits.
+type ReconfigRow struct {
+	// Mode is "scale-out" (new replicas, chunked range transfer) or
+	// "in-place" (same replicas resubscribe; no data moves).
+	Mode string `json:"mode"`
+	// Records is the database size at split time.
+	Records int `json:"records"`
+	// MovedKeys is how many keys migrated to the new partition.
+	MovedKeys int `json:"moved_keys"`
+	// SplitStallMs is the longest an OpSplit marker stalled execution on
+	// any old replica — the O(log n) copy-on-write tree split. The
+	// acceptance bar: it must NOT grow with Records.
+	SplitStallMs float64 `json:"split_stall_ms"`
+	// ResubStallMs is the longest an epoch transition blocked a merge
+	// goroutine (in-place mode).
+	ResubStallMs float64 `json:"resubscribe_stall_ms"`
+	// Phase durations of the controller protocol.
+	PrepareMs    float64 `json:"prepare_ms"`
+	MarkerMs     float64 `json:"marker_ms"`
+	TransferMs   float64 `json:"transfer_ms"`
+	TotalSplitMs float64 `json:"total_split_ms"`
+	// SteadyOpsPerS is client throughput before the split starts;
+	// DuringOpsPerS is throughput over the split window; AfterOpsPerS is
+	// throughput once the new schema is serving. Note the in-place row's
+	// after-split throughput: closed-loop clients whose replicas merge
+	// two rings are paced by the Δ/λ merge-turn latency (the paper's
+	// latency/rate-leveling trade-off), so a small closed loop reads
+	// slower even though open-loop capacity grew with the added ring.
+	SteadyOpsPerS float64 `json:"steady_ops_per_s"`
+	DuringOpsPerS float64 `json:"during_ops_per_s"`
+	AfterOpsPerS  float64 `json:"after_ops_per_s"`
+	// DipRatio is DuringOpsPerS / SteadyOpsPerS (1.0 = split is free).
+	DipRatio float64 `json:"dip_ratio_during_vs_steady"`
+	// P99BeforeMs / MaxDuringMs are client-observed update latencies.
+	P99BeforeMs  float64 `json:"p99_before_ms"`
+	MaxDuringMs  float64 `json:"max_during_ms"`
+	SchemaEpoch  int64   `json:"schema_epoch"`
+	MigratedCtr  uint64  `json:"migrated_keys_counter"`
+	ReplicaEpoch uint64  `json:"replica_epoch"`
+}
+
+// ReconfigResult aggregates the reconfiguration benchmark
+// (cmd/bench -reconfig).
+type ReconfigResult struct {
+	Workload  string        `json:"workload"`
+	DurationS float64       `json:"duration_s"`
+	Rows      []ReconfigRow `json:"rows"`
+}
+
+// WriteJSON writes the result snapshot (for the CI trajectory).
+func (r ReconfigResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+const (
+	reconfigWorkers    = 4
+	reconfigValueBytes = 128
+)
+
+// reconfigRecordCounts are the database sizes compared: the split stall
+// must stay flat while the moved-key count grows ~8x.
+var reconfigRecordCounts = []int{4096, 32768}
+
+// ReconfigBench measures what a live partition split costs the clients:
+// for each database size it drives a closed-loop update workload against
+// a one-partition range store, performs a scale-out split (new replica
+// set, chunked range transfer, schema flip) in the middle of the run, and
+// reports the throughput dip, the latency spike and the delivery stall.
+// A final row runs the in-place mode (same replicas resubscribe to a new
+// ring at the marker) where no data moves at all.
+func ReconfigBench(o Options) (ReconfigResult, error) {
+	o = o.withDefaults()
+	o.header("Reconfig", "live partition split under load: delivery stall and throughput dip")
+	o.printf("%-10s %9s %8s %11s %11s %10s %10s %8s %10s\n",
+		"mode", "records", "moved", "stall(ms)", "resub(ms)", "steady", "during", "dip", "split(ms)")
+
+	res := ReconfigResult{
+		Workload: fmt.Sprintf("1 partition x 3 replicas, %d closed-loop update clients, %d B values, split at the key-space midpoint mid-run",
+			reconfigWorkers, reconfigValueBytes),
+		DurationS: o.Duration.Seconds(),
+	}
+	for _, records := range reconfigRecordCounts {
+		row, err := reconfigRun(o, records, false)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+		printReconfigRow(o, row)
+	}
+	row, err := reconfigRun(o, reconfigRecordCounts[0], true)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, row)
+	printReconfigRow(o, row)
+	return res, nil
+}
+
+func printReconfigRow(o Options, r ReconfigRow) {
+	o.printf("%-10s %9d %8d %11.3f %11.3f %10.0f %10.0f %8.2f %10.1f (prep %.1f + marker %.1f + xfer %.1f)\n",
+		r.Mode, r.Records, r.MovedKeys, r.SplitStallMs, r.ResubStallMs,
+		r.SteadyOpsPerS, r.DuringOpsPerS, r.DipRatio, r.TotalSplitMs,
+		r.PrepareMs, r.MarkerMs, r.TransferMs)
+}
+
+// reconfigRun boots the store, preloads, runs the update workload and
+// splits the partition mid-run.
+func reconfigRun(o Options, records int, inPlace bool) (ReconfigRow, error) {
+	mode := "scale-out"
+	if inPlace {
+		mode = "in-place"
+	}
+	row := ReconfigRow{Mode: mode, Records: records}
+
+	d := cluster.NewDeployment(nil)
+	defer d.Close()
+	storeOpts := cluster.StoreOptions{
+		Partitions: 1,
+		Replicas:   3,
+		Kind:       store.RangePartitioned,
+	}
+	if inPlace {
+		// In-place splits merge the old and new rings on the same
+		// replicas; rate leveling (skips) keeps the merge from waiting
+		// on whichever ring is momentarily idle — exactly the paper's
+		// Section 4 mechanism. λ is the maximum expected per-ring rate:
+		// it must outrun the busy ring's instance rate or the idle
+		// ring's skip cadence becomes the merge's pace.
+		storeOpts.Ring = core.RingOptions{SkipEnabled: true, Delta: time.Millisecond, Lambda: 20000, RetryInterval: 50 * time.Millisecond}
+	}
+	c, err := d.StartStore(storeOpts)
+	if err != nil {
+		return row, err
+	}
+	sc, cl, err := c.NewClient(netem.SiteLocal)
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+	defer sc.Close()
+
+	value := make([]byte, reconfigValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	const batch = 256
+	for base := 0; base < records; base += batch {
+		n := batch
+		if base+n > records {
+			n = records - base
+		}
+		ops := make([]store.Op, n)
+		for i := range ops {
+			ops[i] = store.Op{Kind: store.OpInsert, Key: reconfigKey(base + i), Value: value}
+		}
+		if _, err := sc.Batch(1, ops); err != nil {
+			return row, fmt.Errorf("bench: reconfig preload: %w", err)
+		}
+	}
+	splitKey := reconfigKey(records / 2)
+
+	oldReplicas := []transport.ProcessID{cluster.ReplicaID(1, 1), cluster.ReplicaID(1, 2), cluster.ReplicaID(1, 3)}
+	if inPlace {
+		var members []coord.Member
+		for _, id := range oldReplicas {
+			members = append(members, coord.Member{ID: id, Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner})
+		}
+		if err := d.Svc.CreateRing(2, members); err != nil {
+			return row, err
+		}
+	} else if err := c.AddPartition(2, 2); err != nil {
+		return row, err
+	}
+	ctrl, cleanup, err := c.NewReconfigController()
+	if err != nil {
+		return row, err
+	}
+	defer cleanup()
+
+	// Closed-loop update workload over the whole key space.
+	latBefore := metrics.NewHistogram()
+	latDuring := metrics.NewHistogram()
+	var phase atomic.Int32 // 0 before, 1 during, 2 after
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	errs := make(chan error, reconfigWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < reconfigWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint32(w)*2654435761 + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng = rng*1664525 + 1013904223
+				key := reconfigKey(int(rng) % records)
+				start := time.Now()
+				if err := sc.Update(key, value); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				switch phase.Load() {
+				case 0:
+					latBefore.Record(time.Since(start))
+				case 1:
+					latDuring.Record(time.Since(start))
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	window := o.Duration / 3
+	t0 := time.Now()
+	time.Sleep(window)
+	steadyOps := ops.Load()
+	steadyS := time.Since(t0).Seconds()
+
+	phase.Store(1)
+	splitStart := time.Now()
+	res, err := ctrl.Split(reconfig.SplitSpec{
+		OldGroup:    1,
+		NewGroup:    2,
+		Key:         splitKey,
+		InPlace:     inPlace,
+		OldReplicas: oldReplicas,
+	}, func(res *reconfig.SplitResult) error {
+		if inPlace {
+			return nil
+		}
+		if err := c.SeedPartition(2, res.Seed); err != nil {
+			return err
+		}
+		return c.StartPartition(2)
+	})
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return row, fmt.Errorf("bench: %s split: %w", mode, err)
+	}
+	// Keep the "during" window open past the flip so stale-client
+	// refresh-and-retry traffic counts against the dip.
+	time.Sleep(window / 4)
+	splitS := time.Since(splitStart).Seconds()
+	duringOps := ops.Load() - steadyOps
+
+	phase.Store(2)
+	afterStart := time.Now()
+	startAfter := ops.Load()
+	time.Sleep(window)
+	afterOps := ops.Load() - startAfter
+	afterS := time.Since(afterStart).Seconds()
+
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return row, fmt.Errorf("bench: reconfig %s worker: %w", mode, err)
+	default:
+	}
+
+	row.MovedKeys = res.MovedKeys
+	row.PrepareMs = ms(res.PrepareDuration)
+	row.MarkerMs = ms(res.MarkerDuration)
+	row.TransferMs = ms(res.TransferDuration)
+	row.TotalSplitMs = splitS * 1e3
+	row.SteadyOpsPerS = float64(steadyOps) / steadyS
+	row.DuringOpsPerS = float64(duringOps) / splitS
+	row.AfterOpsPerS = float64(afterOps) / afterS
+	if row.SteadyOpsPerS > 0 {
+		row.DipRatio = row.DuringOpsPerS / row.SteadyOpsPerS
+	}
+	row.P99BeforeMs = ms(latBefore.Quantile(0.99))
+	row.MaxDuringMs = ms(latDuring.Max())
+	row.SchemaEpoch = ctrl.Metrics.SchemaEpoch.Load()
+	row.MigratedCtr = ctrl.Metrics.MigratedKeys.Load()
+	for r := 1; r <= 3; r++ {
+		srv := c.Server(1, r)
+		if s := ms(srv.SM().SplitStallMax()); s > row.SplitStallMs {
+			row.SplitStallMs = s
+		}
+		if s := ms(srv.Replica().ResubscribeStallMax()); s > row.ResubStallMs {
+			row.ResubStallMs = s
+		}
+		if e := srv.Replica().Epoch(); e > row.ReplicaEpoch {
+			row.ReplicaEpoch = e
+		}
+	}
+	if ops.Load() == 0 {
+		return row, fmt.Errorf("bench: reconfig %s executed nothing", mode)
+	}
+	return row, nil
+}
+
+func reconfigKey(i int) string { return fmt.Sprintf("user%08d", i) }
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -16,6 +16,7 @@ import (
 	"amcast/internal/core"
 	"amcast/internal/dlog"
 	"amcast/internal/netem"
+	"amcast/internal/reconfig"
 	"amcast/internal/recovery"
 	"amcast/internal/smr"
 	"amcast/internal/storage"
@@ -119,6 +120,45 @@ func (d *Deployment) NewClient(site netem.Site) (*Client, error) {
 	return &Client{ID: id, SMR: cl, node: node, tr: tr}, nil
 }
 
+// NewRawProcess attaches a bare process (transport + router) at a site.
+// Reconfiguration controllers use it for their RPC traffic: each
+// process's service channel has a single consumer, so the controller
+// cannot share a client's.
+func (d *Deployment) NewRawProcess(site netem.Site) (transport.ProcessID, *transport.Router) {
+	id := transport.ProcessID(d.nextClient.Add(1))
+	tr := d.Net.Attach(id, site)
+	return id, transport.NewRouter(tr)
+}
+
+// NewReconfigController attaches a reconfiguration controller to the
+// deployment: a store client for marker submission plus a raw process for
+// the prepare/transfer RPCs. The returned cleanup releases both.
+func (c *StoreCluster) NewReconfigController() (*reconfig.Controller, func(), error) {
+	cl, err := c.D.NewClient(netem.SiteLocal)
+	if err != nil {
+		return nil, nil, err
+	}
+	id, router := c.D.NewRawProcess(netem.SiteLocal)
+	ctrl, err := reconfig.NewController(reconfig.Config{
+		Coord:     c.D.Svc,
+		Client:    cl.SMR,
+		Self:      id,
+		Transport: router.Transport(),
+		Service:   router.Service(),
+	})
+	if err != nil {
+		cl.Close()
+		_ = router.Transport().Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		ctrl.Close()
+		cl.Close()
+		_ = router.Transport().Close()
+	}
+	return ctrl, cleanup, nil
+}
+
 // StoreOptions configures a StartStore deployment.
 type StoreOptions struct {
 	// Partitions and Replicas set the layout (paper: 3 partitions × 3
@@ -164,6 +204,19 @@ type StoreCluster struct {
 	mu      sync.Mutex
 	servers map[transport.ProcessID]*store.Server
 	ckpts   map[transport.ProcessID]recovery.Store
+	// partRing maps partition index -> partition ring id for partitions
+	// added after boot (the initial layout uses ring id == index).
+	partRing map[int]transport.RingID
+}
+
+// ringOf returns partition p's ring id.
+func (c *StoreCluster) ringOf(p int) transport.RingID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.partRing[p]; ok {
+		return g
+	}
+	return transport.RingID(p)
 }
 
 // StartStore boots an MRP-Store cluster: one ring per partition (members:
@@ -228,11 +281,12 @@ func (d *Deployment) StartStore(opts StoreOptions) (*StoreCluster, error) {
 	}
 
 	c := &StoreCluster{
-		D:       d,
-		Schema:  schema,
-		opts:    opts,
-		servers: make(map[transport.ProcessID]*store.Server),
-		ckpts:   make(map[transport.ProcessID]recovery.Store),
+		D:        d,
+		Schema:   schema,
+		opts:     opts,
+		servers:  make(map[transport.ProcessID]*store.Server),
+		ckpts:    make(map[transport.ProcessID]recovery.Store),
+		partRing: make(map[int]transport.RingID),
 	}
 	for p := 1; p <= opts.Partitions; p++ {
 		for r := 1; r <= opts.Replicas; r++ {
@@ -279,7 +333,7 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 
 	cfg := store.ServerConfig{
 		Self:            id,
-		Partition:       transport.RingID(p),
+		Partition:       c.ringOf(p),
 		Peers:           peers,
 		Router:          router,
 		Coord:           c.D.Svc,
@@ -353,6 +407,68 @@ func (c *StoreCluster) Restart(p, r int) error {
 	id := ReplicaID(p, r)
 	c.D.Svc.MarkUp(id)
 	return c.startServer(p, r, c.opts.RecoveryTimeout > 0)
+}
+
+// AddPartition registers a new partition ring (online reconfiguration):
+// partition index p maps to ring id group, with Replicas members holding
+// all roles. The servers are NOT started — a scale-out split seeds their
+// checkpoint stores first (SeedPartition) and boots them with
+// StartPartition once the range transfer completed.
+func (c *StoreCluster) AddPartition(p int, group transport.RingID) error {
+	var members []coord.Member
+	for r := 1; r <= c.opts.Replicas; r++ {
+		members = append(members, coord.Member{
+			ID:    ReplicaID(p, r),
+			Roles: coord.RoleProposer | coord.RoleAcceptor | coord.RoleLearner,
+		})
+	}
+	if err := c.D.Svc.CreateRing(group, members); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.partRing[p] = group
+	c.mu.Unlock()
+	return nil
+}
+
+// SeedPartition installs a seed checkpoint (the split's handoff state)
+// into every replica's stable checkpoint store before the partition
+// boots, so the servers recover the transferred range exactly as they
+// would any checkpoint.
+func (c *StoreCluster) SeedPartition(p int, seed recovery.Checkpoint) error {
+	for r := 1; r <= c.opts.Replicas; r++ {
+		id := ReplicaID(p, r)
+		c.mu.Lock()
+		ckpt, ok := c.ckpts[id]
+		if !ok {
+			if c.opts.NewCheckpointStore != nil {
+				var err error
+				if ckpt, err = c.opts.NewCheckpointStore(id); err != nil {
+					c.mu.Unlock()
+					return fmt.Errorf("cluster: checkpoint store for %d: %w", id, err)
+				}
+			} else {
+				ckpt = recovery.NewMemStore()
+			}
+			c.ckpts[id] = ckpt
+		}
+		c.mu.Unlock()
+		if err := ckpt.Save(seed); err != nil {
+			return fmt.Errorf("cluster: seed checkpoint for %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// StartPartition boots every replica of a partition added with
+// AddPartition (after SeedPartition, for scale-out splits).
+func (c *StoreCluster) StartPartition(p int) error {
+	for r := 1; r <= c.opts.Replicas; r++ {
+		if err := c.startServer(p, r, false); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DropCheckpoints simulates losing a replica's stable storage.

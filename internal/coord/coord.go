@@ -286,12 +286,15 @@ func (s *Service) Watch(ring transport.RingID) (<-chan RingConfig, func()) {
 	return ch, cancel
 }
 
-// notify delivers cfg without blocking; if the watcher is saturated the
-// oldest pending update is dropped (watchers only need the newest config).
-func notify(ch chan RingConfig, cfg RingConfig) {
+// notify delivers v without blocking; if the watcher is saturated the
+// oldest pending update is dropped (watchers only need the newest value).
+// Dropping the oldest — never the incoming value — is what guarantees a
+// watcher always observes the final update of a burst: coalescing is
+// allowed, losing the latest value is not.
+func notify[T any](ch chan T, v T) {
 	for {
 		select {
-		case ch <- cfg:
+		case ch <- v:
 			return
 		default:
 			select {
@@ -341,18 +344,21 @@ func (s *Service) setLiveness(id transport.ProcessID, down bool) {
 }
 
 // PutMeta stores a metadata blob under key and notifies meta watchers.
+// Saturated watchers coalesce (intermediate values of a burst may be
+// dropped) but always receive the newest value: the reconfig flow depends
+// on a schema watcher never missing the final published version.
 func (s *Service) PutMeta(key string, value []byte) {
 	cp := append([]byte(nil), value...)
 	s.mu.Lock()
+	// Notify under the lock so the delivery order every watcher sees
+	// matches the store order: concurrent bursts then always end with the
+	// value GetMeta would return. notify never blocks, so holding the
+	// lock here cannot deadlock.
 	s.meta[key] = cp
-	subs := append([]chan []byte(nil), s.metaSubs[key]...)
-	s.mu.Unlock()
-	for _, ch := range subs {
-		select {
-		case ch <- cp:
-		default:
-		}
+	for _, ch := range s.metaSubs[key] {
+		notify(ch, cp)
 	}
+	s.mu.Unlock()
 }
 
 // GetMeta returns the metadata stored under key.
@@ -366,11 +372,24 @@ func (s *Service) GetMeta(key string) ([]byte, bool) {
 	return append([]byte(nil), v...), true
 }
 
-// WatchMeta subscribes to updates of a metadata key.
-func (s *Service) WatchMeta(key string) <-chan []byte {
+// WatchMeta subscribes to updates of a metadata key. Bursts of updates
+// may coalesce on a slow watcher, but the newest value is always
+// delivered. Call the returned cancel function to unsubscribe.
+func (s *Service) WatchMeta(key string) (<-chan []byte, func()) {
 	ch := make(chan []byte, 4)
 	s.mu.Lock()
 	s.metaSubs[key] = append(s.metaSubs[key], ch)
 	s.mu.Unlock()
-	return ch
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		subs := s.metaSubs[key]
+		for i, w := range subs {
+			if w == ch {
+				s.metaSubs[key] = append(subs[:i], subs[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, cancel
 }

@@ -1,6 +1,9 @@
 package coord
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -253,7 +256,8 @@ func TestMeta(t *testing.T) {
 		t.Error("GetMeta must return a copy")
 	}
 
-	ch := s.WatchMeta("schema")
+	ch, cancelMeta := s.WatchMeta("schema")
+	defer cancelMeta()
 	s.PutMeta("schema", []byte("range:4"))
 	select {
 	case got := <-ch:
@@ -272,6 +276,90 @@ func TestWatchUnknownRing(t *testing.T) {
 	select {
 	case <-ch:
 		t.Error("watch on unknown ring delivered a config")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestWatchMetaBurstKeepsLatest hammers one meta key from many writers
+// while slow watchers drain lazily: coalescing intermediate values is
+// allowed, but after the dust settles every watcher must observe the
+// value GetMeta reports — the reconfig flow depends on a schema watcher
+// never missing the final published version. Run with -race.
+func TestWatchMetaBurstKeepsLatest(t *testing.T) {
+	s := NewService()
+	const watchers = 4
+	const writers = 8
+	const perWriter = 200
+
+	chans := make([]<-chan []byte, watchers)
+	for i := range chans {
+		ch, cancel := s.WatchMeta("schema")
+		defer cancel()
+		chans[i] = ch
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.PutMeta("schema", []byte(fmt.Sprintf("w%d-%04d", w, i)))
+				if i%32 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	// Slow concurrent drains keep the watcher channels saturated so the
+	// drop-oldest path is exercised while writes race; each records the
+	// last value it saw (delivery is FIFO, so the last received is the
+	// newest delivered).
+	lastSeen := make([][]byte, watchers)
+	for i, ch := range chans {
+		wg.Add(1)
+		go func(i int, ch <-chan []byte) {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				select {
+				case v := <-ch:
+					lastSeen[i] = v
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}(i, ch)
+	}
+	wg.Wait()
+
+	final, ok := s.GetMeta("schema")
+	if !ok {
+		t.Fatal("no meta after burst")
+	}
+	for i, ch := range chans {
+	drain:
+		for {
+			select {
+			case v := <-ch:
+				lastSeen[i] = v
+			default:
+				break drain
+			}
+		}
+		if string(lastSeen[i]) != string(final) {
+			t.Errorf("watcher %d last observed %q, want final %q", i, lastSeen[i], final)
+		}
+	}
+}
+
+// TestWatchMetaCancel verifies a cancelled watcher stops receiving.
+func TestWatchMetaCancel(t *testing.T) {
+	s := NewService()
+	ch, cancel := s.WatchMeta("k")
+	cancel()
+	s.PutMeta("k", []byte("v"))
+	select {
+	case v := <-ch:
+		t.Errorf("cancelled watcher received %q", v)
 	case <-time.After(20 * time.Millisecond):
 	}
 }

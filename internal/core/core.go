@@ -184,12 +184,30 @@ type Node struct {
 	cursor     Cursor          // merge position (updated by merge loop)
 	merging    bool
 	stopped    bool
+	// dropped records rings removed by a past epoch transition. Their
+	// delivery stream is (partially) consumed by a drain goroutine, so
+	// re-subscribing one would silently skip instances; it is refused.
+	dropped map[transport.RingID]bool
 
 	mergeDone chan struct{}
 	done      chan struct{}
 
 	proposeSeq atomic.Uint32
 	delivered  atomic.Uint64
+
+	// resub is the armed epoch transition (nil when none): the merge
+	// consumes it when it delivers the marker value. Written by
+	// PrepareResubscribe, read per consensus instance by the merge.
+	resub atomic.Pointer[resubRequest]
+	// resubStall is the longest a subscription switch blocked the merge
+	// goroutine, in ns (instrumentation for the reconfig bench).
+	resubStall metrics.Gauge
+}
+
+// resubRequest is an armed subscription change.
+type resubRequest struct {
+	marker uint64
+	groups []transport.RingID // ascending, deduplicated
 }
 
 // New creates a Multi-Ring Paxos node. Join rings and Subscribe to start
@@ -339,22 +357,90 @@ func (n *Node) SubscribeBatch(handler BatchHandler, groups ...transport.RingID) 
 	// Restore or initialize the merge cursor.
 	cur := n.cfg.StartCursor.Clone()
 	if len(cur.Groups) == 0 {
-		cur = Cursor{Groups: sorted, Credits: make([]uint64, len(sorted))}
-	} else {
-		if len(cur.Groups) != len(sorted) {
-			return errors.New("core: cursor subscription mismatch")
-		}
-		for i := range sorted {
-			if cur.Groups[i] != sorted[i] {
-				return errors.New("core: cursor subscription mismatch")
-			}
-		}
+		cur = Cursor{Groups: sorted, Credits: make([]uint64, len(sorted)), Epoch: n.cfg.StartCursor.Epoch}
+	} else if !ringIDsEqual(cur.Groups, sorted) {
+		return fmt.Errorf("core: cursor subscription mismatch: the checkpointed cursor (epoch %d) covers groups %v but the subscription requests %v; subscribe with the checkpointed group set (recovery restores the post-reconfiguration subscription) or discard the cursor to start a fresh merge", cur.Epoch, cur.Groups, sorted)
 	}
 	n.subscribed = sorted
 	n.cursor = cur
 	n.merging = true
 	go n.merge(sorted, srcs, handler, cur.Clone())
 	return nil
+}
+
+// PrepareResubscribe arms an epoch transition: when the merge delivers
+// the application message whose value id equals marker, it ends the
+// delivery batch at exactly that instance, switches the subscription to
+// groups (ascending ring-id order), increments the cursor epoch and
+// restarts the round-robin at the first group. Every group must already
+// be joined with the learner role; groups absent from the current
+// subscription start delivering from their join point, and groups dropped
+// from it stop delivering right after the marker.
+//
+// Determinism contract: the marker must be armed at every learner of the
+// partition BEFORE the marker value is multicast. A learner that delivers
+// the marker unarmed treats it as an ordinary (opaque) message and keeps
+// the old subscription, diverging from its peers; reconfig.Controller
+// implements the prepare/ack handshake that upholds the contract.
+func (n *Node) PrepareResubscribe(marker uint64, groups ...transport.RingID) error {
+	if marker == 0 {
+		return errors.New("core: resubscribe marker must be nonzero")
+	}
+	if len(groups) == 0 {
+		return errors.New("core: empty resubscription")
+	}
+	sorted := append([]transport.RingID(nil), groups...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return ErrStopped
+	}
+	if !n.merging {
+		return errors.New("core: PrepareResubscribe requires an active subscription")
+	}
+	for i, g := range sorted {
+		if i > 0 && sorted[i-1] == g {
+			return fmt.Errorf("core: duplicate group %d in resubscription", g)
+		}
+		if n.dropped[g] {
+			// A past transition dropped this ring and its delivery
+			// stream has been partially discarded by the drain
+			// goroutine; re-adding it would skip those instances and
+			// diverge from peers. Re-join semantics need ring-level
+			// redelivery, which does not exist yet.
+			return fmt.Errorf("core: group %d was dropped by a previous epoch transition and cannot be re-added", g)
+		}
+		if _, ok := n.rings[g]; !ok {
+			return fmt.Errorf("core: resubscription group %d: %w", g, ErrNotSubscribed)
+		}
+		rc, _ := n.coord.Ring(g)
+		if !rc.Roles(n.id).Has(coord.RoleLearner) {
+			return fmt.Errorf("core: resubscription group %d: %w", g, ErrNotSubscribed)
+		}
+	}
+	// A new prepare REPLACES an armed-but-unfired transition rather than
+	// rejecting it: a controller that died (or whose cancel message was
+	// lost) between prepare and marker would otherwise wedge this
+	// learner's reconfiguration until restart. Replacement is safe under
+	// the one-active-controller protocol: a marker is only multicast
+	// after every learner acked its prepare, so a replaced marker either
+	// was never proposed (aborted prepare phase) or — having been armed
+	// everywhere — already fired and cleared the pending slot; in both
+	// cases no learner can deliver the replaced marker armed.
+	n.resub.Store(&resubRequest{marker: marker, groups: sorted})
+	return nil
+}
+
+// CancelResubscribe disarms a pending epoch transition whose marker
+// matches (an aborted reconfiguration whose marker will never be
+// multicast). Reports whether a pending transition was removed.
+func (n *Node) CancelResubscribe(marker uint64) bool {
+	p := n.resub.Load()
+	if p == nil || p.marker != marker {
+		return false
+	}
+	return n.resub.CompareAndSwap(p, nil)
 }
 
 // ringSource adapts one ring's batch delivery channel into a pull
@@ -431,6 +517,13 @@ func (s *ringSource) recycle() {
 // delivered vector and cursor published under a single lock acquisition,
 // then the handler invoked — when it reaches the configured bounds or when
 // the merge would otherwise block waiting for a ring.
+//
+// When an epoch transition is armed (PrepareResubscribe) and the consumed
+// instance carries the marker value, the batch is cut immediately after
+// that instance and the subscription switches before the handler runs: the
+// published cursor already carries the new group set and incremented
+// epoch, so a checkpoint taken inside that handler records the
+// transition exactly at the marker.
 func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler BatchHandler, cur Cursor) {
 	defer close(n.mergeDone)
 	defer func() {
@@ -445,16 +538,9 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 	batchBytes := 0
 	high := make([]uint64, len(groups)) // delivered marks pending publication
 
-	flush := func() {
-		n.mu.Lock()
-		for idx, hi := range high {
-			if hi > n.vector[groups[idx]] {
-				n.vector[groups[idx]] = hi
-			}
-			high[idx] = 0
-		}
-		n.cursor = cur.Clone()
-		n.mu.Unlock()
+	// emit hands the accumulated batch to the handler (after the vector
+	// and cursor were published by the caller).
+	emit := func() {
 		if len(batch) > 0 {
 			n.delivered.Add(uint64(len(batch)))
 			handler(batch)
@@ -464,6 +550,24 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 			batch = batch[:0]
 			batchBytes = 0
 		}
+	}
+	// publish writes the delivered high-water marks under the node lock;
+	// the caller extends the same critical section with cursor (and, on a
+	// switch, subscription) updates before unlocking.
+	publish := func() {
+		for idx, hi := range high {
+			if hi > n.vector[groups[idx]] {
+				n.vector[groups[idx]] = hi
+			}
+			high[idx] = 0
+		}
+	}
+	flush := func() {
+		n.mu.Lock()
+		publish()
+		n.cursor = cur.Clone()
+		n.mu.Unlock()
+		emit()
 	}
 
 	for {
@@ -500,6 +604,8 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 			if end := d.Instance + span - 1; end > high[i] {
 				high[i] = end
 			}
+			pending := n.resub.Load()
+			hitMarker := false
 			switch {
 			case d.Value.Skip:
 				// Rate-leveling filler: consumed silently.
@@ -518,8 +624,12 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 						Data:     iv.Value.Data,
 					})
 					batchBytes += len(iv.Value.Data)
+					if pending != nil && iv.Value.ID == pending.marker {
+						hitMarker = true
+					}
 				}); err != nil {
 					batch, batchBytes = batch[:mark], markBytes
+					hitMarker = false
 				}
 			default:
 				batch = append(batch, Delivery{
@@ -529,6 +639,24 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 					Data:     d.Value.Data,
 				})
 				batchBytes += len(d.Value.Data)
+				if pending != nil && d.Value.ID == pending.marker {
+					hitMarker = true
+				}
+			}
+			if hitMarker {
+				// Epoch transition: cut the batch at the marker
+				// instance, switch the subscription, then hand the
+				// batch over — the handler observes the new cursor
+				// (epoch+1, fresh round-robin) at this boundary.
+				// Time only the switch itself: emit() runs the handler's
+				// ordinary batch execution, which happens for every
+				// batch and would drown the transition cost.
+				start := time.Now()
+				groups, srcs = n.switchSubscription(pending, groups, srcs, &cur, publish)
+				high = make([]uint64, len(groups))
+				n.resubStall.SetMax(int64(time.Since(start)))
+				emit()
+				break // restart the round-robin on the new group set
 			}
 			if len(batch) >= maxMsgs || batchBytes >= maxBytes {
 				flush()
@@ -540,6 +668,119 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 			}
 		}
 	}
+}
+
+// switchSubscription applies an armed epoch transition at the marker
+// boundary: it publishes the delivered marks (including the marker
+// instance), prunes/extends the vector for the new group set, installs a
+// fresh cursor at epoch+1 and rebuilds the ring sources — kept rings
+// continue from their exact positions, removed rings are handed to a
+// drain goroutine (their node may still be an acceptor whose delivery
+// channel must not wedge the ring), added rings start at their join
+// point. Runs on the merge goroutine.
+func (n *Node) switchSubscription(pending *resubRequest, groups []transport.RingID, srcs []*ringSource, cur *Cursor, publish func()) ([]transport.RingID, []*ringSource) {
+	newGroups := append([]transport.RingID(nil), pending.groups...)
+
+	n.mu.Lock()
+	publish()
+	for g := range n.vector {
+		if !containsRing(newGroups, g) {
+			delete(n.vector, g)
+		}
+	}
+	for _, g := range newGroups {
+		if _, ok := n.vector[g]; !ok {
+			n.vector[g] = n.cfg.StartVector[g]
+		}
+	}
+	*cur = Cursor{
+		Groups:  append([]transport.RingID(nil), newGroups...),
+		Credits: make([]uint64, len(newGroups)),
+		Epoch:   cur.Epoch + 1,
+	}
+	n.cursor = cur.Clone()
+	n.subscribed = append([]transport.RingID(nil), newGroups...)
+	rings := make(map[transport.RingID]*ring.Node, len(newGroups))
+	for _, g := range newGroups {
+		rings[g] = n.rings[g]
+	}
+	n.mu.Unlock()
+
+	bySrc := make(map[transport.RingID]*ringSource, len(groups))
+	for idx, g := range groups {
+		bySrc[g] = srcs[idx]
+	}
+	newSrcs := make([]*ringSource, len(newGroups))
+	for idx, g := range newGroups {
+		if s, ok := bySrc[g]; ok {
+			newSrcs[idx] = s
+			delete(bySrc, g)
+			continue
+		}
+		rn := rings[g]
+		newSrcs[idx] = &ringSource{rn: rn, ch: rn.DeliveryBatches()}
+	}
+	if len(bySrc) > 0 {
+		n.mu.Lock()
+		if n.dropped == nil {
+			n.dropped = make(map[transport.RingID]bool)
+		}
+		for g := range bySrc {
+			n.dropped[g] = true
+		}
+		n.mu.Unlock()
+	}
+	for _, s := range bySrc {
+		go n.drainRemoved(s)
+	}
+	n.resub.CompareAndSwap(pending, nil)
+	return newGroups, newSrcs
+}
+
+// drainRemoved keeps consuming a dropped ring's delivery channel so the
+// ring node (possibly still an acceptor of that ring) never wedges on a
+// full channel. Fully leaving a ring (stopping the learner) is future
+// work; the drained batches are recycled immediately.
+func (n *Node) drainRemoved(s *ringSource) {
+	s.recycle()
+	for {
+		select {
+		case b, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			s.rn.ReleaseBatch(b)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// ResubscribeStallMax reports the longest time an epoch transition blocked
+// the merge goroutine (instrumentation for cmd/bench -reconfig).
+func (n *Node) ResubscribeStallMax() time.Duration {
+	return time.Duration(n.resubStall.Load())
+}
+
+func containsRing(ids []transport.RingID, g transport.RingID) bool {
+	for _, x := range ids {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+func ringIDsEqual(a, b []transport.RingID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // DeliveredVector snapshots the per-group delivered instance high-water
@@ -588,16 +829,28 @@ func (n *Node) Subscription() []transport.RingID {
 // coordinator. The caller need not be a member of the ring (clients act as
 // proposers). Delivery is not guaranteed; callers retry end-to-end.
 func (n *Node) Multicast(group transport.RingID, data []byte) error {
+	return n.MulticastValue(group, 0, data)
+}
+
+// MulticastValue multicasts data with a caller-chosen value id (0 picks a
+// fresh one). Reconfiguration markers need a pre-agreed id: learners arm
+// PrepareResubscribe with it before the value is proposed, and retries
+// reuse the same id so a retransmitted marker cannot trigger two epochs.
+func (n *Node) MulticastValue(group transport.RingID, id uint64, data []byte) error {
 	select {
 	case <-n.done:
 		return ErrStopped
 	default:
 	}
+	if id == 0 {
+		id = transport.MakeValueID(n.id, n.proposeSeq.Add(1))
+	}
+	v := transport.Value{ID: id, Count: 1, Data: data}
 	n.mu.Lock()
 	rn := n.rings[group]
 	n.mu.Unlock()
 	if rn != nil {
-		return rn.Propose(data)
+		return rn.ProposeValue(v)
 	}
 	rc, ok := n.coord.Ring(group)
 	if !ok {
@@ -607,14 +860,16 @@ func (n *Node) Multicast(group transport.RingID, data []byte) error {
 		return ring.ErrNoCoordinator
 	}
 	return n.tr.Send(rc.Coordinator, transport.Message{
-		Kind: transport.KindProposal,
-		Ring: group,
-		Value: transport.Value{
-			ID:    transport.MakeValueID(n.id, n.proposeSeq.Add(1)),
-			Count: 1,
-			Data:  data,
-		},
+		Kind:  transport.KindProposal,
+		Ring:  group,
+		Value: v,
 	})
+}
+
+// MarkerID returns a fresh proposer-unique value id suitable for
+// MulticastValue/PrepareResubscribe markers.
+func (n *Node) MarkerID() uint64 {
+	return transport.MakeValueID(n.id, n.proposeSeq.Add(1))
 }
 
 // DeliveredCount reports the number of application messages delivered.

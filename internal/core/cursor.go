@@ -24,6 +24,13 @@ type Cursor struct {
 	// Remaining is how many instances the in-progress turn still has to
 	// consume; zero means the turn has not started.
 	Remaining uint64
+	// Epoch counts subscription changes: it starts at 0 when a node first
+	// subscribes and increments every time the merge applies a
+	// Resubscribe at a marker. A checkpoint therefore records not just
+	// where in the merged stream it was taken but under which group set,
+	// and recovery restores the post-reconfiguration subscription instead
+	// of rejecting it as a mismatch.
+	Epoch uint64
 }
 
 // Clone deep-copies the cursor.
@@ -33,12 +40,13 @@ func (c Cursor) Clone() Cursor {
 		Credits:   append([]uint64(nil), c.Credits...),
 		Next:      c.Next,
 		Remaining: c.Remaining,
+		Epoch:     c.Epoch,
 	}
 }
 
 // Encode serializes the cursor for inclusion in a checkpoint.
 func (c Cursor) Encode() []byte {
-	buf := make([]byte, 0, 4+len(c.Groups)*12+12)
+	buf := make([]byte, 0, 4+len(c.Groups)*12+20)
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(c.Groups)))
 	buf = append(buf, tmp[:4]...)
@@ -52,10 +60,13 @@ func (c Cursor) Encode() []byte {
 	buf = append(buf, tmp[:4]...)
 	binary.LittleEndian.PutUint64(tmp[:8], c.Remaining)
 	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint64(tmp[:8], c.Epoch)
+	buf = append(buf, tmp[:8]...)
 	return buf
 }
 
-// DecodeCursor parses Encode output.
+// DecodeCursor parses Encode output. Cursors encoded before the epoch
+// field existed (12 trailing bytes instead of 20) decode with Epoch 0.
 func DecodeCursor(buf []byte) (Cursor, error) {
 	if len(buf) < 4 {
 		return Cursor{}, recovery.ErrCorrupt
@@ -76,5 +87,8 @@ func DecodeCursor(buf []byte) (Cursor, error) {
 	}
 	c.Next = int(binary.LittleEndian.Uint32(buf[:4]))
 	c.Remaining = binary.LittleEndian.Uint64(buf[4:12])
+	if len(buf) >= 20 {
+		c.Epoch = binary.LittleEndian.Uint64(buf[12:20])
+	}
 	return c, nil
 }

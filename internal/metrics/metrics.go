@@ -233,6 +233,30 @@ func (c *Counter) Add(n uint64) { c.n.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() uint64 { return c.n.Load() }
 
+// Gauge is a lock-free settable instantaneous value — e.g. the schema
+// epoch a process currently operates under. The zero value is ready to
+// use and reads 0.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger (monotonic gauges such as
+// epochs, where concurrent setters must never move it backwards).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // BatchGauge tracks the size distribution of batches flowing through a hot
 // path — group-commit WAL batches, coalesced network flushes — cheaply
 // enough to stay enabled in production: three atomics per observation. The

@@ -353,15 +353,22 @@ func (n *Node) Deliveries() <-chan Delivery {
 // coordinator, which assigns it a consensus instance. Delivery is not
 // guaranteed (fair-lossy semantics); callers retry end-to-end.
 func (n *Node) Propose(data []byte) error {
+	return n.ProposeValue(transport.Value{
+		ID:    transport.MakeValueID(n.id, n.proposeSeq.Add(1)),
+		Count: 1,
+		Data:  data,
+	})
+}
+
+// ProposeValue multicasts a fully formed value (caller-chosen id) on this
+// ring. Reconfiguration markers use it: their value id must be known to
+// every learner before the value is proposed, so the proposer cannot let
+// the ring assign one.
+func (n *Node) ProposeValue(v transport.Value) error {
 	select {
 	case <-n.done:
 		return ErrStopped
 	default:
-	}
-	v := transport.Value{
-		ID:    transport.MakeValueID(n.id, n.proposeSeq.Add(1)),
-		Count: 1,
-		Data:  data,
 	}
 	n.mu.Lock()
 	coordID := n.rc.Coordinator

@@ -166,17 +166,17 @@ func TestSnapshotChunkRoundTrip(t *testing.T) {
 		t.Fatalf("expected multiple chunks, got %d", len(frames))
 	}
 
-	var asm *snapshotAssembly
+	var asm *ChunkAssembly
 	feed := append([]transport.Message{frames[0]}, frames...) // duplicate first frame
 	var done bool
 	for _, m := range feed {
 		if asm == nil {
-			if asm = newSnapshotAssembly(m); asm == nil {
+			if asm = NewChunkAssembly(m); asm == nil {
 				t.Fatal("assembly rejected valid framing")
 			}
 		}
 		var err error
-		done, err = asm.add(m)
+		done, err = asm.Add(m)
 		if err != nil {
 			t.Fatalf("add: %v", err)
 		}

@@ -106,6 +106,24 @@ var ErrClientClosed = errors.New("smr: client closed")
 // independent rings → groups=targets, accept=targets. Multi-append where
 // the client cannot name partitions → accept=nil, need=partition count.
 func (c *Client) Submit(groups []transport.RingID, op []byte, accept []transport.RingID, need int, timeout time.Duration) ([][]byte, error) {
+	return c.submit(groups, op, accept, need, timeout, 0)
+}
+
+// SubmitMarker submits op to one group with a caller-chosen multicast
+// value id — a reconfiguration marker. Learners arm the id with
+// PrepareResubscribe before the call, and every retransmission reuses it,
+// so a retried marker decided twice still triggers exactly one epoch
+// transition (the second decision is an ordinary duplicate the replicas
+// suppress).
+func (c *Client) SubmitMarker(group transport.RingID, op []byte, marker uint64, timeout time.Duration) ([]byte, error) {
+	resps, err := c.submit([]transport.RingID{group}, op, []transport.RingID{group}, 1, timeout, marker)
+	if err != nil {
+		return nil, err
+	}
+	return resps[0], nil
+}
+
+func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport.RingID, need int, timeout time.Duration, valueID uint64) ([][]byte, error) {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
@@ -145,7 +163,7 @@ func (c *Client) Submit(groups []transport.RingID, op []byte, accept []transport
 	payload := cmd.Encode()
 	send := func() error {
 		for _, g := range groups {
-			if err := c.node.Multicast(g, payload); err != nil {
+			if err := c.node.MulticastValue(g, valueID, payload); err != nil {
 				return err
 			}
 		}

@@ -110,6 +110,11 @@ type ReplicaConfig struct {
 	// for comparison benchmarks (cmd/bench -ckpt); production replicas
 	// leave it false and use the background checkpoint writer.
 	SyncCheckpoints bool
+	// ServiceHook, if set, is offered service messages the replica does
+	// not handle itself (e.g. MRP-Store's partition-split range
+	// transfers). It runs on the replica's service goroutine; it returns
+	// true when it consumed the message.
+	ServiceHook func(transport.Message) bool
 }
 
 // Replica drives a replicated state machine: it subscribes to the
@@ -121,12 +126,19 @@ type Replica struct {
 	batchSM BatchExecutor    // non-nil when SM supports batch apply
 	snapSM  SnapshotCapturer // non-nil when SM supports cheap capture
 
-	// mu guards safeVec, the only state shared with the service loop
-	// (trim and recovery RPCs). Everything below it is owned by the
-	// merge goroutine, so batch execution never holds a lock a service
-	// RPC could wait on.
-	mu      sync.Mutex
-	safeVec recovery.Vector // vector of the last durable checkpoint
+	// mu guards safeVec/safeEpoch, the only state shared with the
+	// service loop (trim and recovery RPCs). Everything below it is owned
+	// by the merge goroutine, so batch execution never holds a lock a
+	// service RPC could wait on.
+	mu        sync.Mutex
+	safeVec   recovery.Vector // vector of the last durable checkpoint
+	safeEpoch uint64          // subscription epoch of that checkpoint
+
+	// resubArmed is set while an epoch transition is registered with the
+	// node and cleared once the merge applies it (observed at a batch
+	// boundary, where the transition is checkpointed immediately).
+	resubArmed atomic.Bool
+	epoch      uint64 // merge-goroutine view of the subscription epoch
 
 	// Checkpoint writer pipeline: the delivery goroutine captures
 	// (vector, cursor, dedup, snapshot) at a batch boundary and parks it
@@ -219,7 +231,12 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 			local = cp
 		}
 	}
+	localEpoch := uint64(0)
+	if cur, err := decodeStateCursor(local.State); err == nil {
+		localEpoch = cur.Epoch
+	}
 	best := local
+	bestEpoch := localEpoch
 	bestPeer := transport.ProcessID(0)
 	remote := false
 
@@ -242,13 +259,25 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 				if m.Kind != transport.KindCheckpointResp || m.Seq != reqSeq {
 					continue // stale traffic during recovery
 				}
-				vec, _, err := recovery.DecodeVector(m.Payload)
+				vec, rest, err := recovery.DecodeVector(m.Payload)
 				if err != nil {
 					continue
 				}
+				// Subscription epoch rides after the vector (absent
+				// in pre-reconfig responses → epoch 0). A higher
+				// epoch wins outright: vectors across an epoch
+				// boundary are not comparable entrywise (the group
+				// set changed), but the transition itself was
+				// checkpointed, so the higher-epoch tuple is by
+				// construction the later one.
+				var epoch uint64
+				if len(rest) >= 8 {
+					epoch = binary.LittleEndian.Uint64(rest[:8])
+				}
 				got++
-				if recovery.Compare(vec, best.Vector) > 0 {
+				if epoch > bestEpoch || (epoch == bestEpoch && recovery.Compare(vec, best.Vector) > 0) {
 					best = recovery.Checkpoint{Vector: vec}
+					bestEpoch = epoch
 					bestPeer = m.From
 				}
 			case <-deadline:
@@ -267,7 +296,7 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 		if bestPeer != 0 {
 			_ = tr.Send(bestPeer, transport.Message{Kind: transport.KindSnapshotReq, Seq: reqSeq})
 			deadline := time.After(opts.Timeout)
-			var asm *snapshotAssembly
+			var asm *ChunkAssembly
 			best = local
 		fetch:
 			for {
@@ -280,11 +309,11 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 						continue
 					}
 					if asm == nil {
-						if asm = newSnapshotAssembly(m); asm == nil {
+						if asm = NewChunkAssembly(m); asm == nil {
 							break fetch
 						}
 					}
-					done, err := asm.add(m)
+					done, err := asm.Add(m)
 					if err != nil {
 						break fetch
 					}
@@ -540,8 +569,9 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 	}
 	r.batchSM, _ = cfg.SM.(BatchExecutor)
 	r.snapSM, _ = cfg.SM.(SnapshotCapturer)
+	groups := cfg.Groups
 	if len(recovered.State) > 0 {
-		_, dedup, snap, err := decodeStateParts(recovered.State)
+		cur, dedup, snap, err := decodeStateParts(recovered.State)
 		if err != nil {
 			return nil, fmt.Errorf("smr: corrupt recovered checkpoint: %w", err)
 		}
@@ -552,6 +582,16 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 			return nil, fmt.Errorf("smr: corrupt recovered dedup table: %w", err)
 		}
 		r.safeVec = recovered.Vector.Clone()
+		r.safeEpoch = cur.Epoch
+		r.epoch = cur.Epoch
+		// The checkpointed cursor records the subscription in force when
+		// it was taken — including epoch transitions applied since the
+		// replica was configured. Restoring it (rather than cfg.Groups)
+		// is what lets a killed replica come back with its post-split
+		// group set.
+		if len(cur.Groups) > 0 {
+			groups = append([]transport.RingID(nil), cur.Groups...)
+		}
 		// Re-persist locally so our own store has what we installed.
 		if cfg.Checkpoints != nil {
 			if err := cfg.Checkpoints.Save(recovered); err != nil {
@@ -561,7 +601,8 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 	} else if len(recovered.Vector) > 0 {
 		r.safeVec = recovered.Vector.Clone()
 	}
-	for _, g := range cfg.Groups {
+	r.cfg.Groups = groups
+	for _, g := range groups {
 		if err := cfg.Node.Join(g); err != nil {
 			return nil, fmt.Errorf("smr: join group %d: %w", g, err)
 		}
@@ -571,7 +612,7 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 	if cfg.CheckpointEvery > 0 {
 		cfg.Node.LimitBatch(cfg.CheckpointEvery)
 	}
-	if err := cfg.Node.SubscribeBatch(r.deliverBatch, cfg.Groups...); err != nil {
+	if err := cfg.Node.SubscribeBatch(r.deliverBatch, groups...); err != nil {
 		return nil, fmt.Errorf("smr: subscribe: %w", err)
 	}
 	go r.checkpointWriter()
@@ -634,6 +675,18 @@ func (r *Replica) deliverBatch(ds []core.Delivery) {
 		// instead of silently waiting out another full interval while
 		// trim stays pinned at the stale safeVec.
 		takeCkpt = true
+	}
+	if r.resubArmed.Load() {
+		// An epoch transition is registered with the node; the merge cut
+		// the marker batch right here if it fired. Checkpoint the
+		// transition immediately so recovery — local or via a peer's
+		// higher-epoch tuple — restores the new subscription instead of
+		// replaying the marker unarmed.
+		if cur := r.cfg.Node.MergeCursor(); cur.Epoch > r.epoch {
+			r.epoch = cur.Epoch
+			r.resubArmed.Store(false)
+			takeCkpt = r.cfg.Checkpoints != nil
+		}
 	}
 
 	if executed > 0 {
@@ -802,8 +855,10 @@ func (r *Replica) writeCheckpoint(c *ckptCapture) {
 		return // keep serving; trim just cannot advance yet
 	}
 	r.mu.Lock()
-	if recovery.Compare(c.vector, r.safeVec) > 0 {
+	if c.cursor.Epoch > r.safeEpoch ||
+		(c.cursor.Epoch == r.safeEpoch && recovery.Compare(c.vector, r.safeVec) > 0) {
 		r.safeVec = c.vector.Clone()
+		r.safeEpoch = c.cursor.Epoch
 	}
 	r.mu.Unlock()
 	r.checkpoints.Add(1)
@@ -925,12 +980,18 @@ func (r *Replica) handleService(m transport.Message) {
 	case transport.KindCheckpointReq:
 		r.mu.Lock()
 		vec := r.safeVec.Clone()
+		epoch := r.safeEpoch
 		r.mu.Unlock()
 		if r.tr != nil {
+			// The subscription epoch rides after the vector so the
+			// recovering peer can rank tuples across reconfigurations.
+			payload := recovery.EncodeVector(vec)
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], epoch)
 			_ = r.tr.Send(m.From, transport.Message{
 				Kind:    transport.KindCheckpointResp,
 				Seq:     m.Seq,
-				Payload: recovery.EncodeVector(vec),
+				Payload: append(payload, tmp[:]...),
 			})
 		}
 	case transport.KindSnapshotReq:
@@ -944,7 +1005,119 @@ func (r *Replica) handleService(m transport.Message) {
 		// Stream the checkpoint in bounded chunks; a monolithic frame
 		// cannot carry states past the transport frame cap.
 		sendSnapshotChunks(r.tr, m.From, m.Seq, cp.Encode())
+	case transport.KindReconfigPrepare:
+		// Reconfiguration handshake: arm the epoch transition before the
+		// controller multicasts the marker, and ack so the controller
+		// knows every learner will cut at the same point. Count 1 is the
+		// abort path: disarm a prepared transition whose marker will
+		// never be multicast.
+		if m.Count == 1 {
+			if r.cfg.Node.CancelResubscribe(m.Instance) {
+				r.resubArmed.Store(false)
+			}
+			return
+		}
+		groups, err := DecodeRingIDs(m.Payload)
+		if err == nil {
+			err = r.Resubscribe(m.Instance, groups...)
+		}
+		if r.tr != nil {
+			ack := transport.Message{Kind: transport.KindReconfigAck, Seq: m.Seq}
+			if err != nil {
+				ack.Instance = 1
+				ack.Payload = []byte(err.Error())
+			}
+			_ = r.tr.Send(m.From, ack)
+		}
+	default:
+		if r.cfg.ServiceHook != nil {
+			r.cfg.ServiceHook(m)
+		}
 	}
+}
+
+// Resubscribe arms an epoch transition: the replica joins any groups it
+// has not joined yet and registers the marker with the node; when the
+// merge delivers the marker value the subscription switches to groups and
+// the transition is checkpointed at that exact batch boundary. Safe to
+// call from the service goroutine (the reconfig prepare RPC) or from
+// application code.
+func (r *Replica) Resubscribe(marker uint64, groups ...transport.RingID) error {
+	if len(groups) == 0 {
+		return errors.New("smr: empty resubscription")
+	}
+	for _, g := range groups {
+		if err := r.cfg.Node.Join(g); err != nil {
+			return fmt.Errorf("smr: join group %d: %w", g, err)
+		}
+	}
+	if err := r.cfg.Node.PrepareResubscribe(marker, groups...); err != nil {
+		return err
+	}
+	r.resubArmed.Store(true)
+	return nil
+}
+
+// Epoch reports the subscription epoch of the last durable checkpoint.
+func (r *Replica) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.safeEpoch
+}
+
+// Subscription reports the node's current subscribed groups (ascending).
+func (r *Replica) Subscription() []transport.RingID {
+	return r.cfg.Node.Subscription()
+}
+
+// ResubscribeStallMax reports the longest an epoch transition blocked the
+// node's merge goroutine (instrumentation for cmd/bench -reconfig).
+func (r *Replica) ResubscribeStallMax() time.Duration {
+	return r.cfg.Node.ResubscribeStallMax()
+}
+
+// EncodeRingIDs serializes a group list for reconfiguration RPC payloads.
+func EncodeRingIDs(ids []transport.RingID) []byte {
+	buf := make([]byte, 4, 4+4*len(ids))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(ids)))
+	var tmp [4]byte
+	for _, g := range ids {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(g))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// DecodeRingIDs parses EncodeRingIDs output.
+func DecodeRingIDs(buf []byte) ([]transport.RingID, error) {
+	if len(buf) < 4 {
+		return nil, recovery.ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	buf = buf[4:]
+	if len(buf) != 4*n {
+		return nil, recovery.ErrCorrupt
+	}
+	out := make([]transport.RingID, n)
+	for i := range out {
+		out[i] = transport.RingID(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}
+
+// SeedCheckpoint builds the checkpoint a freshly split-off partition
+// replica boots from: the transferred state snapshot under the new
+// subscription at the given epoch, delivery starting at each group's
+// first instance, with an empty duplicate-suppression table.
+func SeedCheckpoint(groups []transport.RingID, epoch uint64, snap []byte) recovery.Checkpoint {
+	sorted := append([]transport.RingID(nil), groups...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	vec := make(recovery.Vector, len(sorted))
+	for _, g := range sorted {
+		vec[g] = 0
+	}
+	cur := core.Cursor{Groups: sorted, Credits: make([]uint64, len(sorted)), Epoch: epoch}
+	return recovery.Checkpoint{Vector: vec, State: encodeStateParts(cur, encodeDedup(nil), snap)}
 }
 
 // ExecutedCount reports commands executed (excluding duplicates).

@@ -7,7 +7,7 @@ import (
 	"amcast/internal/transport"
 )
 
-// snapshotChunkSize bounds one KindSnapshotChunk payload. It is kept far
+// snapshotChunkSize bounds one chunked-transfer payload. It is kept far
 // below transport's 64 MB frame cap so a multi-gigabyte checkpoint streams
 // as many small frames instead of one monolithic KindSnapshotResp-style
 // message that could never fit a frame (and would previously fail recovery
@@ -15,12 +15,14 @@ import (
 // states.
 var snapshotChunkSize = 256 << 10
 
-// sendSnapshotChunks streams an encoded checkpoint to a recovering peer as
-// KindSnapshotChunk frames. Each frame carries the request Seq, its chunk
-// index (Votes), the chunk count (Count), the byte offset (Instance), the
-// total encoded size (Value.ID) and the CRC of the full encoding (Ballot),
-// so the receiver can reassemble and verify before decoding.
-func sendSnapshotChunks(tr transport.Transport, to transport.ProcessID, seq uint64, enc []byte) {
+// SendChunked streams an encoded blob to a peer as chunked frames of the
+// given kind (KindSnapshotChunk for checkpoints, KindRangeChunk for
+// partition-split range transfers). Each frame carries the request Seq,
+// its chunk index (Votes), the chunk count (Count), the byte offset
+// (Instance), the total encoded size (Value.ID) and the CRC of the full
+// encoding (Ballot), so the receiver can reassemble and verify before
+// decoding.
+func SendChunked(tr transport.Transport, to transport.ProcessID, kind transport.Kind, seq uint64, enc []byte) {
 	crc := crc32.ChecksumIEEE(enc)
 	total := (len(enc) + snapshotChunkSize - 1) / snapshotChunkSize
 	if total == 0 {
@@ -33,7 +35,7 @@ func sendSnapshotChunks(tr transport.Transport, to transport.ProcessID, seq uint
 			end = len(enc)
 		}
 		if tr.Send(to, transport.Message{
-			Kind:     transport.KindSnapshotChunk,
+			Kind:     kind,
 			Seq:      seq,
 			Instance: uint64(off),
 			Count:    uint32(total),
@@ -47,6 +49,11 @@ func sendSnapshotChunks(tr transport.Transport, to transport.ProcessID, seq uint
 	}
 }
 
+// sendSnapshotChunks streams an encoded checkpoint to a recovering peer.
+func sendSnapshotChunks(tr transport.Transport, to transport.ProcessID, seq uint64, enc []byte) {
+	SendChunked(tr, to, transport.KindSnapshotChunk, seq, enc)
+}
+
 // Assembly sanity caps: the claimed transfer size and chunk count come
 // from a peer's frame, so a corrupt first chunk must not drive the
 // allocations below — reject absurd framing and fall back to the local
@@ -56,17 +63,19 @@ const (
 	maxSnapshotChunks          = 1 << 20
 )
 
-// snapshotAssembly reassembles a chunked snapshot transfer.
-type snapshotAssembly struct {
+// ChunkAssembly reassembles a chunked transfer (the receive side of
+// SendChunked). Recovery uses it for checkpoint fetches; the reconfig
+// controller reuses it verbatim for CRC-verified range transfers.
+type ChunkAssembly struct {
 	buf  []byte
 	got  []bool
 	left int
 	crc  uint32
 }
 
-// newSnapshotAssembly sizes an assembly from the first chunk's framing.
+// NewChunkAssembly sizes an assembly from the first chunk's framing.
 // Returns nil if the framing is nonsensical.
-func newSnapshotAssembly(m transport.Message) *snapshotAssembly {
+func NewChunkAssembly(m transport.Message) *ChunkAssembly {
 	total := int(m.Count)
 	size64 := m.Value.ID
 	// The int round-trip additionally rejects sizes past the platform's
@@ -76,7 +85,7 @@ func newSnapshotAssembly(m transport.Message) *snapshotAssembly {
 		return nil
 	}
 	size := int(size64)
-	return &snapshotAssembly{
+	return &ChunkAssembly{
 		buf:  make([]byte, size),
 		got:  make([]bool, total),
 		left: total,
@@ -84,11 +93,11 @@ func newSnapshotAssembly(m transport.Message) *snapshotAssembly {
 	}
 }
 
-// add incorporates one chunk. It returns done=true once every chunk has
+// Add incorporates one chunk. It returns done=true once every chunk has
 // arrived and the reassembled bytes pass the transfer CRC; a non-nil error
-// reports an inconsistent or corrupt transfer (the caller falls back to
-// its local checkpoint).
-func (a *snapshotAssembly) add(m transport.Message) (done bool, err error) {
+// reports an inconsistent or corrupt transfer (the caller falls back or
+// aborts).
+func (a *ChunkAssembly) Add(m transport.Message) (done bool, err error) {
 	idx := int(m.Votes)
 	if idx < 0 || idx >= len(a.got) || m.Ballot != a.crc || m.Value.ID != uint64(len(a.buf)) {
 		return false, recovery.ErrCorrupt
@@ -114,3 +123,7 @@ func (a *snapshotAssembly) add(m transport.Message) (done bool, err error) {
 	}
 	return true, nil
 }
+
+// Bytes returns the reassembled transfer; valid only after Add reported
+// done with a nil error.
+func (a *ChunkAssembly) Bytes() []byte { return a.buf }

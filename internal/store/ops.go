@@ -23,6 +23,14 @@ const (
 	// OpBatch applies a sequence of sub-operations (client-side batching
 	// of small commands, Section 7.2).
 	OpBatch
+	// OpSplit is the partition-split marker (online reconfiguration):
+	// delivered through the old partition's group, it marks the exact
+	// point in the merged stream where keys >= Key stop being owned by
+	// this partition. Replicas split their tree in O(log n), stash the
+	// outgoing half for the controller's range transfer (scale-out
+	// splits), and shrink their owned range. Value carries an encoded
+	// SplitSpec.
+	OpSplit
 )
 
 func (k OpKind) String() string {
@@ -39,6 +47,8 @@ func (k OpKind) String() string {
 		return "delete"
 	case OpBatch:
 		return "batch"
+	case OpSplit:
+		return "split"
 	default:
 		return "unknown"
 	}
@@ -65,6 +75,11 @@ const (
 	StatusExists
 	// StatusBadRequest indicates an undecodable operation.
 	StatusBadRequest
+	// StatusWrongPartition indicates the executing replica no longer owns
+	// the key — its partition's range shrank in a split after the client
+	// loaded its schema. Clients refresh the schema and retry against the
+	// new owner.
+	StatusWrongPartition
 )
 
 func (s Status) String() string {
@@ -77,9 +92,47 @@ func (s Status) String() string {
 		return "exists"
 	case StatusBadRequest:
 		return "bad-request"
+	case StatusWrongPartition:
+		return "wrong-partition"
 	default:
 		return "unknown"
 	}
+}
+
+// SplitSpec parameterizes an OpSplit marker. It rides in the op's Value.
+type SplitSpec struct {
+	// ID tags the split; the stashed outgoing range and the controller's
+	// range-transfer RPCs are keyed by it.
+	ID uint64
+	// NewGroup is the ring that takes over keys >= the op's Key.
+	NewGroup transport.RingID
+	// InPlace marks a split where the same replicas host the new ring
+	// (they resubscribe instead of moving data): ownership and state stay
+	// untouched, only the marker's position in the merged stream matters.
+	InPlace bool
+}
+
+// Encode serializes a split spec.
+func (s SplitSpec) Encode() []byte {
+	buf := make([]byte, 13)
+	binary.LittleEndian.PutUint64(buf[:8], s.ID)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(s.NewGroup))
+	if s.InPlace {
+		buf[12] = 1
+	}
+	return buf
+}
+
+// DecodeSplitSpec parses Encode output.
+func DecodeSplitSpec(buf []byte) (SplitSpec, error) {
+	if len(buf) < 13 {
+		return SplitSpec{}, transport.ErrShortMessage
+	}
+	return SplitSpec{
+		ID:       binary.LittleEndian.Uint64(buf[:8]),
+		NewGroup: transport.RingID(binary.LittleEndian.Uint32(buf[8:12])),
+		InPlace:  buf[12] == 1,
+	}, nil
 }
 
 // Entry is one key-value pair in a response.
@@ -202,10 +255,10 @@ func decodeOp(buf []byte) (Op, []byte, error) {
 // statusEnc caches the encodings of entry-less results: the write hot path
 // (update/insert/delete) returns one per command, and encoding it fresh
 // would allocate inside the executor's critical section.
-var statusEnc [StatusBadRequest + 1][]byte
+var statusEnc [StatusWrongPartition + 1][]byte
 
 func init() {
-	for s := StatusOK; s <= StatusBadRequest; s++ {
+	for s := StatusOK; s <= StatusWrongPartition; s++ {
 		statusEnc[s] = Result{Status: s}.Encode()
 	}
 }
@@ -213,7 +266,7 @@ func init() {
 // encodeResult serializes a result, reusing the cached encoding for
 // status-only results. The returned slice must be treated as read-only.
 func encodeResult(r Result) []byte {
-	if len(r.Entries) == 0 && len(r.Results) == 0 && r.Status >= StatusOK && r.Status <= StatusBadRequest {
+	if len(r.Entries) == 0 && len(r.Results) == 0 && r.Status >= StatusOK && r.Status <= StatusWrongPartition {
 		return statusEnc[r.Status]
 	}
 	return r.Encode()

@@ -37,6 +37,10 @@ type Partition struct {
 // hash partitioning, by Low for range partitioning.
 type Schema struct {
 	Kind SchemaKind
+	// Version counts schema changes: online reconfiguration publishes
+	// Version+1 when a partition split commits, and clients reject
+	// refreshes that would move them backwards.
+	Version uint64
 	// GlobalGroup, if nonzero, is a ring all replicas subscribe to;
 	// multi-partition operations are multicast to it so they are
 	// ordered against everything else. Zero means independent rings
@@ -129,14 +133,16 @@ func (s Schema) Groups() []transport.RingID {
 func (s Schema) Encode() []byte {
 	var buf []byte
 	buf = append(buf, byte(s.Kind))
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(s.GlobalGroup))
-	buf = append(buf, tmp[:]...)
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s.Partitions)))
-	buf = append(buf, tmp[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:8], s.Version)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(s.GlobalGroup))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(s.Partitions)))
+	buf = append(buf, tmp[:4]...)
 	for _, p := range s.Partitions {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(p.Group))
-		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(p.Group))
+		buf = append(buf, tmp[:4]...)
 		buf = appendString(buf, p.Low)
 	}
 	return buf
@@ -145,13 +151,14 @@ func (s Schema) Encode() []byte {
 // DecodeSchema parses Encode output.
 func DecodeSchema(buf []byte) (Schema, error) {
 	var s Schema
-	if len(buf) < 9 {
+	if len(buf) < 17 {
 		return s, transport.ErrShortMessage
 	}
 	s.Kind = SchemaKind(buf[0])
-	s.GlobalGroup = transport.RingID(binary.LittleEndian.Uint32(buf[1:5]))
-	n := int(binary.LittleEndian.Uint32(buf[5:9]))
-	buf = buf[9:]
+	s.Version = binary.LittleEndian.Uint64(buf[1:9])
+	s.GlobalGroup = transport.RingID(binary.LittleEndian.Uint32(buf[9:13]))
+	n := int(binary.LittleEndian.Uint32(buf[13:17]))
+	buf = buf[17:]
 	for i := 0; i < n; i++ {
 		if len(buf) < 4 {
 			return s, transport.ErrShortMessage
@@ -186,10 +193,59 @@ func LoadSchema(svc *coord.Service) (Schema, error) {
 	return DecodeSchema(raw)
 }
 
+// RangeOf returns the key range [lo, hi) a partition group owns under a
+// range-partitioned schema; hi == "" means unbounded above. ok is false
+// when the schema is not range-partitioned or the group is absent.
+func (s Schema) RangeOf(group transport.RingID) (lo, hi string, ok bool) {
+	if s.Kind != RangePartitioned {
+		return "", "", false
+	}
+	for i, p := range s.Partitions {
+		if p.Group != group {
+			continue
+		}
+		hi := ""
+		if i+1 < len(s.Partitions) {
+			hi = s.Partitions[i+1].Low
+		}
+		return p.Low, hi, true
+	}
+	return "", "", false
+}
+
+// SplitRange derives the post-split schema: keys >= key move from the
+// partition owning them to newGroup, and the version increments. The
+// receiver is unchanged.
+func (s Schema) SplitRange(newGroup transport.RingID, key string) (Schema, error) {
+	if s.Kind != RangePartitioned {
+		return Schema{}, fmt.Errorf("store: split requires a range-partitioned schema")
+	}
+	if key == "" {
+		return Schema{}, fmt.Errorf("store: split key must be nonempty")
+	}
+	out := s
+	out.Partitions = append([]Partition(nil), s.Partitions...)
+	idx := sort.Search(len(out.Partitions), func(i int) bool {
+		return out.Partitions[i].Low > key
+	})
+	// idx is the insertion point; the owning partition sits before it.
+	if idx > 0 && out.Partitions[idx-1].Low == key {
+		return Schema{}, fmt.Errorf("store: split key %q is already a partition boundary", key)
+	}
+	out.Partitions = append(out.Partitions, Partition{})
+	copy(out.Partitions[idx+1:], out.Partitions[idx:])
+	out.Partitions[idx] = Partition{Group: newGroup, Low: key}
+	out.Version = s.Version + 1
+	if err := out.Validate(); err != nil {
+		return Schema{}, err
+	}
+	return out, nil
+}
+
 // RangeSchema builds an l-way range schema splitting the printable-ASCII
 // key space evenly — convenient for examples and benchmarks.
 func RangeSchema(groups []transport.RingID, global transport.RingID) Schema {
-	s := Schema{Kind: RangePartitioned, GlobalGroup: global}
+	s := Schema{Kind: RangePartitioned, GlobalGroup: global, Version: 1}
 	for i, g := range groups {
 		low := ""
 		if i > 0 {
@@ -204,7 +260,7 @@ func RangeSchema(groups []transport.RingID, global transport.RingID) Schema {
 
 // HashSchema builds an l-way hash schema.
 func HashSchema(groups []transport.RingID, global transport.RingID) Schema {
-	s := Schema{Kind: HashPartitioned, GlobalGroup: global}
+	s := Schema{Kind: HashPartitioned, GlobalGroup: global, Version: 1}
 	for _, g := range groups {
 		s.Partitions = append(s.Partitions, Partition{Group: g})
 	}

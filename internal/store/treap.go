@@ -41,8 +41,20 @@ type treapNode struct {
 	key         string
 	value       []byte
 	priority    int64
+	sub         int // subtree entry count (this node + both children)
 	left, right *treapNode
 }
+
+// subCount is nil-safe subtree size.
+func subCount(n *treapNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.sub
+}
+
+// fix recomputes a freshly cloned node's subtree count from its children.
+func (n *treapNode) fix() { n.sub = 1 + subCount(n.left) + subCount(n.right) }
 
 // clone returns a fresh mutable copy of n; callers may mutate the copy
 // freely until it is linked into a root.
@@ -111,7 +123,7 @@ func (t *treap) Put(key string, value []byte) bool {
 
 func (t *treap) put(n *treapNode, key string, value []byte) (*treapNode, bool) {
 	if n == nil {
-		return &treapNode{key: key, value: value, priority: t.rng.Int63()}, false
+		return &treapNode{key: key, value: value, priority: t.rng.Int63(), sub: 1}, false
 	}
 	nc := n.clone()
 	switch c := strings.Compare(key, n.key); {
@@ -121,6 +133,7 @@ func (t *treap) put(n *treapNode, key string, value []byte) (*treapNode, bool) {
 	case c < 0:
 		var existed bool
 		nc.left, existed = t.put(n.left, key, value)
+		nc.fix()
 		if nc.left.priority > nc.priority {
 			nc = rotateRight(nc)
 		}
@@ -128,6 +141,7 @@ func (t *treap) put(n *treapNode, key string, value []byte) (*treapNode, bool) {
 	default:
 		var existed bool
 		nc.right, existed = t.put(n.right, key, value)
+		nc.fix()
 		if nc.right.priority > nc.priority {
 			nc = rotateLeft(nc)
 		}
@@ -157,6 +171,7 @@ func (t *treap) del(n *treapNode, key string) (*treapNode, bool) {
 		}
 		nc := n.clone()
 		nc.left = nl
+		nc.fix()
 		return nc, true
 	case c > 0:
 		nr, existed := t.del(n.right, key)
@@ -165,6 +180,7 @@ func (t *treap) del(n *treapNode, key string) (*treapNode, bool) {
 		}
 		nc := n.clone()
 		nc.right = nr
+		nc.fix()
 		return nc, true
 	default:
 		return merge(n.left, n.right), true
@@ -182,10 +198,12 @@ func merge(a, b *treapNode) *treapNode {
 	case a.priority > b.priority:
 		ac := a.clone()
 		ac.right = merge(a.right, b)
+		ac.fix()
 		return ac
 	default:
 		bc := b.clone()
 		bc.left = merge(a, b.left)
+		bc.fix()
 		return bc
 	}
 }
@@ -198,6 +216,8 @@ func rotateRight(n *treapNode) *treapNode {
 	l := n.left
 	n.left = l.right
 	l.right = n
+	n.fix()
+	l.fix()
 	return l
 }
 
@@ -205,7 +225,40 @@ func rotateLeft(n *treapNode) *treapNode {
 	r := n.right
 	n.right = r.left
 	r.left = n
+	n.fix()
+	r.fix()
 	return r
+}
+
+// splitOff removes every entry with key >= at from the tree and returns
+// them as an immutable snapshot, in O(log n) expected path copies — both
+// halves share all untouched subtrees with the previous version, so
+// concurrently captured snapshots keep observing the pre-split database.
+// This is what makes a live partition split's delivery stall independent
+// of how many keys move: the delivery goroutine only pays the path copy,
+// while serializing the outgoing half happens later, off the hot path.
+func (t *treap) splitOff(at string) treapSnapshot {
+	left, right := splitNodes(t.root, at)
+	t.root = left
+	t.size = subCount(left)
+	return treapSnapshot{root: right, size: subCount(right)}
+}
+
+func splitNodes(n *treapNode, at string) (l, r *treapNode) {
+	if n == nil {
+		return nil, nil
+	}
+	nc := n.clone()
+	if strings.Compare(n.key, at) < 0 {
+		ll, rr := splitNodes(n.right, at)
+		nc.right = ll
+		nc.fix()
+		return nc, rr
+	}
+	ll, rr := splitNodes(n.left, at)
+	nc.left = rr
+	nc.fix()
+	return ll, nc
 }
 
 // Range calls fn for every entry with lo <= key <= hi in ascending key

@@ -77,25 +77,42 @@ const (
 	// whole encoding. Replaces the former monolithic snapshot response,
 	// which could not carry states larger than a single frame.
 	KindSnapshotChunk
+	// KindReconfigPrepare arms an epoch transition at a replica before
+	// the reconfiguration marker is multicast: Instance carries the
+	// marker value id, Payload the new group set.
+	KindReconfigPrepare
+	// KindReconfigAck confirms (Instance 0) or rejects (Instance 1, error
+	// text in Payload) a reconfiguration prepare.
+	KindReconfigAck
+	// KindRangeReq asks a replica for the outgoing key range captured by
+	// a partition-split marker; Instance carries the split id.
+	KindRangeReq
+	// KindRangeChunk streams the captured range back with the same
+	// chunked framing as KindSnapshotChunk (offset/index/count/size/CRC).
+	KindRangeChunk
 )
 
 var kindNames = map[Kind]string{
-	KindProposal:       "Proposal",
-	KindPhase1A:        "Phase1A",
-	KindPhase1B:        "Phase1B",
-	KindPhase2:         "Phase2",
-	KindDecision:       "Decision",
-	KindRetransmitReq:  "RetransmitReq",
-	KindRetransmitResp: "RetransmitResp",
-	KindSafeReq:        "SafeReq",
-	KindSafeResp:       "SafeResp",
-	KindTrim:           "Trim",
-	KindCommand:        "Command",
-	KindResponse:       "Response",
-	KindCheckpointReq:  "CheckpointReq",
-	KindCheckpointResp: "CheckpointResp",
-	KindSnapshotReq:    "SnapshotReq",
-	KindSnapshotChunk:  "SnapshotChunk",
+	KindProposal:        "Proposal",
+	KindPhase1A:         "Phase1A",
+	KindPhase1B:         "Phase1B",
+	KindPhase2:          "Phase2",
+	KindDecision:        "Decision",
+	KindRetransmitReq:   "RetransmitReq",
+	KindRetransmitResp:  "RetransmitResp",
+	KindSafeReq:         "SafeReq",
+	KindSafeResp:        "SafeResp",
+	KindTrim:            "Trim",
+	KindCommand:         "Command",
+	KindResponse:        "Response",
+	KindCheckpointReq:   "CheckpointReq",
+	KindCheckpointResp:  "CheckpointResp",
+	KindSnapshotReq:     "SnapshotReq",
+	KindSnapshotChunk:   "SnapshotChunk",
+	KindReconfigPrepare: "ReconfigPrepare",
+	KindReconfigAck:     "ReconfigAck",
+	KindRangeReq:        "RangeReq",
+	KindRangeChunk:      "RangeChunk",
 }
 
 func (k Kind) String() string {
