@@ -1,5 +1,6 @@
 // Command bench regenerates the paper's evaluation figures (Section 8)
-// against this repository's implementation.
+// against this repository's implementation, plus the repository's own
+// regression benchmarks.
 //
 // Usage:
 //
@@ -7,7 +8,17 @@
 //	bench -fig all          # every figure
 //	bench -ablation all     # design-choice ablations (merge-M, skips,
 //	                        # batching, global-ring)
+//	bench -delivery         # delivery pipeline: per-message vs batched
+//	bench -io               # acceptor I/O: per-put fsync vs group commit
+//	bench -ckpt             # checkpoints: sync-blocking vs COW-async
+//	bench -reconfig         # online reconfiguration: live split under load
+//	bench -flow             # flow control: static vs adaptive λ,
+//	                        # slow-replica isolation (EC2 WAN)
 //	bench -duration 5s -scale 0.5 -clients 100 -records 5000
+//
+// Each regression benchmark accepts -json FILE to snapshot its result
+// (BENCH_delivery.json, BENCH_io.json, BENCH_ckpt.json,
+// BENCH_reconfig.json, BENCH_flow.json in CI).
 //
 // Scale < 1 shrinks emulated device and WAN latencies proportionally so
 // runs finish quickly while preserving the ratios between configurations;
@@ -37,7 +48,8 @@ func run() error {
 	ioBench := flag.Bool("io", false, "run the acceptor I/O benchmark (per-put fsync vs group commit)")
 	ckptBench := flag.Bool("ckpt", false, "run the checkpoint-pipeline benchmark (sync-seed vs COW-async)")
 	reconfigBench := flag.Bool("reconfig", false, "run the online-reconfiguration benchmark (live partition split under load)")
-	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt or -reconfig benchmark result to this JSON file")
+	flowBench := flag.Bool("flow", false, "run the flow-control benchmark (static vs adaptive rate leveling, slow-replica isolation)")
+	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt, -reconfig or -flow benchmark result to this JSON file")
 	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
@@ -52,21 +64,21 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench {
+	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench && !*flowBench {
 		flag.Usage()
-		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt or -reconfig")
+		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt, -reconfig or -flow")
 	}
 	selected := 0
-	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench} {
+	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench, *flowBench} {
 		if b {
 			selected++
 		}
 	}
 	if selected > 1 && *benchJSON != "" {
-		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig")
+		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig, -flow")
 	}
 	if selected == 0 && *benchJSON != "" {
-		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt and -reconfig benchmarks only")
+		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt, -reconfig and -flow benchmarks only")
 	}
 	if !*delivery && *seedBaseline > 0 {
 		return fmt.Errorf("-seed-baseline applies to the -delivery benchmark only")
@@ -122,6 +134,19 @@ func run() error {
 
 	if *reconfigBench {
 		res, err := bench.ReconfigBench(o)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+	}
+
+	if *flowBench {
+		res, err := bench.FlowBench(o)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestFlowBenchShort smoke-tests the flow-control benchmark and its JSON
+// snapshot with a short measurement window. It asserts the directional
+// claims, not exact numbers: a mis-set static λ must cost throughput and
+// the adaptive loop must recover most of it; one slow replica must not
+// collapse the fast learners.
+func TestFlowBenchShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow bench needs a measurement window")
+	}
+	res, err := FlowBench(Options{Out: io.Discard, Duration: 700 * time.Millisecond, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Leveling) != 3 {
+		t.Fatalf("expected 3 leveling rows, got %+v", res.Leveling)
+	}
+	for _, row := range res.Leveling {
+		if row.HotMsgsPerS <= 0 {
+			t.Fatalf("empty measurement: %+v", row)
+		}
+	}
+	if res.MissetVsTuned >= 0.8 {
+		t.Errorf("mis-set λ should visibly degrade throughput, ratio %.2f", res.MissetVsTuned)
+	}
+	if res.AdaptiveVsTuned < 0.7 {
+		t.Errorf("adaptive λ recovered only %.2fx of the tuned baseline", res.AdaptiveVsTuned)
+	}
+	if res.Isolation.IsolationRatio < 0.7 {
+		t.Errorf("slow replica reduced fast learners to %.2fx", res.Isolation.IsolationRatio)
+	}
+	path := t.TempDir() + "/flow.json"
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}

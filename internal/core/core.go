@@ -107,8 +107,21 @@ type RingOptions struct {
 	// Delta is the rate-leveling interval (paper: 5 ms LAN, 20 ms WAN).
 	Delta time.Duration
 	// Lambda is the maximum expected rate, msgs/s (paper: 9000 LAN,
-	// 2000 WAN).
+	// 2000 WAN). With AdaptiveSkip it is only the initial target.
 	Lambda int
+	// AdaptiveSkip replaces the statically preset λ with a feedback
+	// loop: coordinators track their decided-rate EWMA per Δ window and
+	// move the skip target within [LambdaMin, LambdaMax], raised sharply
+	// when this node's merge reports stalling on a ring and decayed when
+	// nobody waits. See ring.Config.AdaptiveSkip.
+	AdaptiveSkip bool
+	// LambdaMin / LambdaMax bound the adaptive skip target (defaults:
+	// Lambda/16 and Lambda*16).
+	LambdaMin int
+	LambdaMax int
+	// FeedbackInterval paces the merge's per-ring stall reports to ring
+	// coordinators (adaptive rate leveling). Default 4×Delta.
+	FeedbackInterval time.Duration
 	// TrimInterval enables coordinator-driven acceptor log trimming.
 	TrimInterval time.Duration
 	// BatchBytes enables coordinator message packing up to this many
@@ -202,6 +215,23 @@ type Node struct {
 	// resubStall is the longest a subscription switch blocked the merge
 	// goroutine, in ns (instrumentation for the reconfig bench).
 	resubStall metrics.Gauge
+
+	// Merge stall telemetry: per-ring records of how long the
+	// deterministic merge waited on each subscribed ring (the straggler
+	// signal that feeds adaptive rate leveling).
+	stallMu sync.Mutex
+	stalls  map[transport.RingID]*ringStallRec
+
+	// halted records a premature merge exit: a subscribed ring's
+	// delivery stream terminated while the node was still running.
+	halted     bool
+	haltedRing transport.RingID
+}
+
+// ringStallRec accumulates merge-stall telemetry for one ring.
+type ringStallRec struct {
+	hist  *metrics.Histogram
+	total atomic.Int64
 }
 
 // resubRequest is an armed subscription change.
@@ -272,6 +302,9 @@ func (n *Node) Join(ringID transport.RingID) error {
 		SkipEnabled:   n.cfg.Ring.SkipEnabled,
 		Delta:         n.cfg.Ring.Delta,
 		Lambda:        lambda,
+		AdaptiveSkip:  n.cfg.Ring.AdaptiveSkip,
+		LambdaMin:     n.cfg.Ring.LambdaMin,
+		LambdaMax:     n.cfg.Ring.LambdaMax,
 		TrimInterval:  n.cfg.Ring.TrimInterval,
 		BatchBytes:    n.cfg.Ring.BatchBytes,
 		StartInstance: n.cfg.StartVector[ringID] + 1,
@@ -445,12 +478,16 @@ func (n *Node) CancelResubscribe(marker uint64) bool {
 
 // ringSource adapts one ring's batch delivery channel into a pull
 // interface for the merge: it holds the in-progress batch and recycles
-// exhausted buffers back to the ring.
+// exhausted buffers back to the ring. stallAcc/lastFB pace the merge's
+// stall feedback to this ring's coordinator (adaptive rate leveling).
 type ringSource struct {
 	rn  *ring.Node
 	ch  <-chan []ring.Delivery
 	buf []ring.Delivery
 	idx int
+
+	stallAcc time.Duration
+	lastFB   time.Time
 }
 
 // ready reports whether a delivery is available without blocking,
@@ -584,11 +621,22 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 		for cur.Remaining > 0 {
 			if !srcs[i].ready() {
 				// About to block: hand over what we have so the
-				// subscriber is never idle while the merge waits.
+				// subscriber is never idle while the merge waits, and
+				// time the wait — it is the straggler signal behind the
+				// per-ring stall telemetry and the adaptive-λ feedback.
 				flush()
+				waitStart := time.Now()
 				if !srcs[i].refill(n.done) {
-					return // ring stopped or node shutting down
+					// Ring stream ended. At Stop that is normal; while
+					// the node is still running it means the ring
+					// terminated delivery (e.g. a catch-up range trimmed
+					// beyond recovery) — record it so the halt is
+					// observable (MergeHalted / Replica.Halted) instead
+					// of the merge vanishing silently.
+					n.noteMergeHalt(groups[i])
+					return
 				}
+				n.observeMergeStall(srcs[i], groups[i], time.Since(waitStart))
 			}
 			d := srcs[i].next()
 			span := d.Value.Span()
@@ -756,6 +804,174 @@ func (n *Node) drainRemoved(s *ringSource) {
 	}
 }
 
+// noteMergeHalt records that the merge exited because a subscribed
+// ring's delivery stream ended while the node was NOT stopping.
+func (n *Node) noteMergeHalt(g transport.RingID) {
+	select {
+	case <-n.done:
+		return // normal shutdown
+	default:
+	}
+	n.mu.Lock()
+	n.halted, n.haltedRing = true, g
+	n.mu.Unlock()
+}
+
+// MergeDone is closed when the deterministic merge goroutine exits — at
+// Stop, or prematurely if a subscribed ring's delivery stream terminated
+// (see MergeHalted). It never closes on a node that was not subscribed.
+func (n *Node) MergeDone() <-chan struct{} { return n.mergeDone }
+
+// MergeHalted reports whether the merge exited prematurely — a
+// subscribed ring terminated its delivery stream while the node was
+// still running (e.g. the learner's catch-up range was trimmed beyond
+// ring-level recovery; see ring.FlowStats.CatchupAborted) — and which
+// ring caused it. Delivery for EVERY subscribed group has stopped at
+// that point; the replica must recover via checkpoint transfer
+// (Section 5.2), typically by restarting through BuildNode.
+func (n *Node) MergeHalted() (transport.RingID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.haltedRing, n.halted
+}
+
+// observeMergeStall records one refill wait in the per-ring stall
+// telemetry and, when adaptive rate leveling is on, reports the
+// accumulated stall to the ring's coordinator at most once per feedback
+// interval. Runs on the merge goroutine.
+func (n *Node) observeMergeStall(s *ringSource, g transport.RingID, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	rec := n.stallRec(g)
+	rec.hist.Record(d)
+	rec.total.Add(int64(d))
+	if !n.cfg.Ring.AdaptiveSkip || !n.cfg.Ring.SkipEnabled {
+		return
+	}
+	s.stallAcc += d
+	now := time.Now()
+	if s.lastFB.IsZero() {
+		s.lastFB = now
+	}
+	if now.Sub(s.lastFB) >= n.feedbackInterval() {
+		s.rn.ReportMergeStall(s.stallAcc)
+		s.stallAcc = 0
+		s.lastFB = now
+	}
+}
+
+// feedbackInterval returns the configured stall-report pacing (default
+// 4×Delta).
+func (n *Node) feedbackInterval() time.Duration {
+	if n.cfg.Ring.FeedbackInterval > 0 {
+		return n.cfg.Ring.FeedbackInterval
+	}
+	d := n.cfg.Ring.Delta
+	if d == 0 {
+		d = 5 * time.Millisecond
+	}
+	return 4 * d
+}
+
+// stallRec returns (lazily creating) the stall record of one ring.
+func (n *Node) stallRec(g transport.RingID) *ringStallRec {
+	n.stallMu.Lock()
+	defer n.stallMu.Unlock()
+	rec, ok := n.stalls[g]
+	if !ok {
+		if n.stalls == nil {
+			n.stalls = make(map[transport.RingID]*ringStallRec)
+		}
+		rec = &ringStallRec{hist: metrics.NewHistogram()}
+		n.stalls[g] = rec
+	}
+	return rec
+}
+
+// RingStall summarizes how long the deterministic merge has waited on one
+// subscribed ring.
+type RingStall struct {
+	Ring  transport.RingID
+	Total time.Duration
+	Count uint64
+	Mean  time.Duration
+	Max   time.Duration
+	P99   time.Duration
+}
+
+// MergeStalls snapshots the per-ring merge-stall telemetry, sorted by
+// total stall descending — the first entry is the straggler.
+func (n *Node) MergeStalls() []RingStall {
+	n.stallMu.Lock()
+	recs := make(map[transport.RingID]*ringStallRec, len(n.stalls))
+	for g, rec := range n.stalls {
+		recs[g] = rec
+	}
+	n.stallMu.Unlock()
+	out := make([]RingStall, 0, len(recs))
+	for g, rec := range recs {
+		out = append(out, RingStall{
+			Ring:  g,
+			Total: time.Duration(rec.total.Load()),
+			Count: rec.hist.Count(),
+			Mean:  rec.hist.Mean(),
+			Max:   rec.hist.Max(),
+			P99:   rec.hist.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// Straggler reports the ring the merge has waited on the longest (ok is
+// false when the merge never waited).
+func (n *Node) Straggler() (RingStall, bool) {
+	stalls := n.MergeStalls()
+	if len(stalls) == 0 || stalls[0].Total == 0 {
+		return RingStall{}, false
+	}
+	return stalls[0], true
+}
+
+// RingFlowStats returns a joined ring's delivery-stage flow-control
+// counters (lag, overruns, catch-up accounting), or ok=false if the
+// process has not joined the ring.
+func (n *Node) RingFlowStats(ringID transport.RingID) (ring.FlowStats, bool) {
+	n.mu.Lock()
+	rn := n.rings[ringID]
+	n.mu.Unlock()
+	if rn == nil {
+		return ring.FlowStats{}, false
+	}
+	return rn.FlowStats(), true
+}
+
+// RingStats reports a joined ring's decided and skipped instance
+// counters (decided includes skipped); ok=false if not joined.
+func (n *Node) RingStats(ringID transport.RingID) (decided, skipped uint64, ok bool) {
+	n.mu.Lock()
+	rn := n.rings[ringID]
+	n.mu.Unlock()
+	if rn == nil {
+		return 0, 0, false
+	}
+	decided, skipped = rn.Stats()
+	return decided, skipped, true
+}
+
+// RingLambdaNow reports a joined ring's current rate-leveling target λ
+// (static Lambda unless AdaptiveSkip moved it); ok=false if not joined.
+func (n *Node) RingLambdaNow(ringID transport.RingID) (int, bool) {
+	n.mu.Lock()
+	rn := n.rings[ringID]
+	n.mu.Unlock()
+	if rn == nil {
+		return 0, false
+	}
+	return rn.LambdaNow(), true
+}
+
 // ResubscribeStallMax reports the longest time an epoch transition blocked
 // the merge goroutine (instrumentation for cmd/bench -reconfig).
 func (n *Node) ResubscribeStallMax() time.Duration {
@@ -863,6 +1079,9 @@ func (n *Node) MulticastValue(group transport.RingID, id uint64, data []byte) er
 		Kind:  transport.KindProposal,
 		Ring:  group,
 		Value: v,
+		// Seq carries the original proposer so admission-control replies
+		// survive proposal forwarding (see ring.ProposeValue).
+		Seq: uint64(n.id),
 	})
 }
 

@@ -448,3 +448,79 @@ func TestCursorSubscriptionMismatch(t *testing.T) {
 		t.Error("cursor/subscription mismatch should fail")
 	}
 }
+
+// TestAdaptiveLambdaRaisesOnMergeStall drives the adaptive rate-leveling
+// feedback loop end-to-end: ring 1 carries heavy traffic while ring 2 is
+// idle with a (deliberately) far-too-low initial λ. The merge stalls on
+// ring 2, learners report the stall to its coordinator, and the skip
+// target must climb well past the mis-set static value — which is what
+// lets ring 1's delivered throughput outrun the static cap. The merge
+// telemetry must also name ring 2 as the straggler.
+func TestAdaptiveLambdaRaisesOnMergeStall(t *testing.T) {
+	rings := map[transport.RingID][]transport.ProcessID{1: {1, 2, 3}, 2: {1, 2, 3}}
+	const missetLambda = 100 // 4x+ below what ring 1 can sustain
+	d := newDeployment(t, 3, rings, func(cfg *Config) {
+		cfg.Ring.SkipEnabled = true
+		cfg.Ring.AdaptiveSkip = true
+		cfg.Ring.Delta = 5 * time.Millisecond
+		cfg.Ring.Lambda = missetLambda
+		cfg.Ring.LambdaMax = 100000
+	})
+	for i := 1; i <= 3; i++ {
+		d.joinAll(transport.ProcessID(i), []transport.RingID{1, 2}, []transport.RingID{1, 2})
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		// Paced at ~4k msgs/s: far above the mis-set static cap but
+		// gentle enough not to starve the scheduler under -race.
+		payload := make([]byte, 32)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = d.nodes[1].Multicast(1, payload)
+			time.Sleep(250 * time.Microsecond)
+		}
+	}()
+
+	// With static λ=100 the merge could deliver at most ~100 ring-1
+	// messages/s; collecting 2000 within the deadline requires the
+	// feedback loop to have raised ring 2's skip target. Track the peak
+	// λ while collecting — once ring 2 levels out, calm-window decay may
+	// legitimately lower it again.
+	got, maxLam := 0, 0
+	deadline := time.After(15 * time.Second)
+	for got < 2000 {
+		select {
+		case dd := <-d.chans[2]:
+			if dd.Group == 1 {
+				got++
+			}
+			if lam, ok := d.nodes[1].RingLambdaNow(2); ok && lam > maxLam {
+				maxLam = lam
+			}
+		case <-deadline:
+			t.Fatalf("delivered %d/2000 ring-1 messages; adaptive λ did not recover the merge", got)
+		}
+	}
+
+	if maxLam <= missetLambda {
+		t.Errorf("ring 2 peak λ = %d, want raised above mis-set %d", maxLam, missetLambda)
+	}
+	if _, ok := d.nodes[2].Straggler(); !ok {
+		t.Error("no straggler reported despite merge stalls")
+	}
+	ring2Stalled := false
+	for _, st := range d.nodes[2].MergeStalls() {
+		if st.Ring == 2 && st.Count > 0 {
+			ring2Stalled = true
+		}
+	}
+	if !ring2Stalled {
+		t.Errorf("no merge-stall telemetry for the mis-set ring: %+v", d.nodes[2].MergeStalls())
+	}
+}

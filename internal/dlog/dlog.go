@@ -550,6 +550,13 @@ func NewClient(cl *smr.Client, global transport.RingID) *Client {
 	return &Client{cl: cl, Global: global, Timeout: 10 * time.Second}
 }
 
+// OverloadBackoffs reports how many times a coordinator shed one of this
+// client's operations under admission control and the underlying smr
+// client backed off (bounded, jittered) instead of retrying blindly.
+// Transient overload never surfaces to callers; only sustained overload
+// fails an operation, with an error wrapping ring.ErrOverloaded.
+func (c *Client) OverloadBackoffs() uint64 { return c.cl.OverloadBackoffs() }
+
 // groupOf maps a log to its multicast group (1:1 by convention).
 func groupOf(l LogID) transport.RingID { return transport.RingID(l) }
 

@@ -296,6 +296,36 @@ func (g *BatchGauge) Mean() float64 {
 	return float64(g.items.Load()) / float64(b)
 }
 
+// EWMA is an exponentially weighted moving average: each Update folds a
+// new sample in with weight alpha. The first sample initializes the
+// average directly, so a freshly started rate tracker does not spend its
+// first windows climbing from zero. Not safe for concurrent use — it is
+// meant for single-goroutine accounting (e.g. a ring coordinator's
+// decided-rate tracking per Δ window).
+type EWMA struct {
+	alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given sample weight (0 < alpha <= 1).
+func NewEWMA(alpha float64) *EWMA {
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds one sample in and returns the new average.
+func (e *EWMA) Update(sample float64) float64 {
+	if !e.init {
+		e.v, e.init = sample, true
+		return e.v
+	}
+	e.v = e.alpha*sample + (1-e.alpha)*e.v
+	return e.v
+}
+
+// Value returns the current average (0 before the first sample).
+func (e *EWMA) Value() float64 { return e.v }
+
 // SeriesPoint is one sample of a time series.
 type SeriesPoint struct {
 	At    time.Duration // offset from series start

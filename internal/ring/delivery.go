@@ -1,0 +1,419 @@
+package ring
+
+import (
+	"time"
+
+	"amcast/internal/transport"
+)
+
+// This file implements the delivery stage: the half of the learner that
+// used to live inside the protocol event loop.
+//
+// Decided instances accumulate (run-loop owned) into n.pending; at burst
+// boundaries the loop hands finished batches to a bounded, lag-tracked
+// queue drained by a dedicated goroutine (deliveryLoop), which owns every
+// potentially blocking channel send. The protocol event loop therefore
+// NEVER blocks on a slow subscriber: acceptor voting, forwarding and
+// coordinator progress continue at full speed no matter how far behind
+// the consumer falls.
+//
+// A consumer that overruns the queue's lag cap transitions the learner to
+// catch-up: the overflowing batch is dropped locally, live deliveries are
+// suppressed (the protocol keeps learning decisions and advancing its
+// watermarks), and the dropped range [catchupNext, nextDeliver) is
+// re-fetched through the existing retransmit path — locally when this
+// process is an acceptor, from a peer acceptor otherwise — as the
+// consumer drains. Delivery order stays contiguous: the queue holds a
+// prefix ending exactly where catch-up resumes.
+
+// enqueueBatch hands one batch of contiguous deliveries to the delivery
+// stage without blocking. It reports false when the lag cap is reached —
+// the consumer is too far behind and the caller must transition to
+// catch-up instead of wedging the event loop. During shutdown batches are
+// accepted (and possibly dropped), matching Stop's documented semantics.
+func (n *Node) enqueueBatch(b []Delivery) bool {
+	if len(b) == 0 {
+		return true
+	}
+	n.dmu.Lock()
+	if n.dclosed {
+		n.dmu.Unlock()
+		return true // shutting down; pending deliveries may be lost
+	}
+	if n.dlag > 0 && n.dlag+len(b) > n.cfg.DeliverBuffer {
+		n.dmu.Unlock()
+		return false
+	}
+	n.dqueue = append(n.dqueue, b)
+	n.dlag += len(b)
+	n.dmu.Unlock()
+	n.dcond.Signal()
+	return true
+}
+
+// closeDelivery tells the delivery stage to drain what it holds and close
+// the delivery channel. Called from the run loop's exit paths.
+func (n *Node) closeDelivery() {
+	n.dmu.Lock()
+	n.dclosed = true
+	n.dmu.Unlock()
+	n.dcond.Broadcast()
+}
+
+// deliveryRoom reports how many more delivery entries the stage accepts
+// before the lag cap (approximate: batches already handed to the channel
+// are not counted against the cap).
+func (n *Node) deliveryRoom() int {
+	n.dmu.Lock()
+	room := n.cfg.DeliverBuffer - n.dlag
+	n.dmu.Unlock()
+	if room < 0 {
+		room = 0
+	}
+	return room
+}
+
+// deliveryLoop is the dedicated delivery stage: it drains staged batches
+// into the delivery channel, absorbing all consumer-side blocking. After
+// closeDelivery it keeps draining (a live consumer receives every staged
+// decision, as the final flush always did); once done is closed a blocked
+// handover is abandoned instead — pending deliveries may be lost on Stop,
+// as documented.
+func (n *Node) deliveryLoop() {
+	defer close(n.deliveryDone)
+	defer close(n.deliverCh)
+	for {
+		n.dmu.Lock()
+		for n.dhead == len(n.dqueue) && !n.dclosed {
+			n.dcond.Wait()
+		}
+		if n.dhead == len(n.dqueue) {
+			n.dmu.Unlock()
+			return
+		}
+		// O(1) pop via head index (no per-batch copy-down); the backing
+		// array resets once fully drained, so the consumed prefix is
+		// pinned only while a backlog exists.
+		b := n.dqueue[n.dhead]
+		n.dqueue[n.dhead] = nil
+		n.dhead++
+		if n.dhead == len(n.dqueue) {
+			n.dqueue = n.dqueue[:0]
+			n.dhead = 0
+		}
+		n.dlag -= len(b)
+		n.dmu.Unlock()
+		// Prefer the immediate send so an actively draining consumer wins
+		// even while the node shuts down.
+		select {
+		case n.deliverCh <- b:
+			continue
+		default:
+		}
+		select {
+		case n.deliverCh <- b:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// handoffPending hands the accumulated batch to the delivery stage. It
+// never blocks: when the stage's lag cap is hit the learner transitions
+// to catch-up — the batch is dropped locally and re-fetched through the
+// retransmit path once the consumer drains — so a slow subscriber
+// degrades only itself. Runs on the event loop; callers must have
+// committed the burst's staged votes first (a released delivery must
+// never outrun the durability of the votes that decided it).
+func (n *Node) handoffPending() {
+	if len(n.pending) == 0 || n.commitWedged {
+		return
+	}
+	if n.enqueueBatch(n.pending) {
+		n.pending = n.getBatch()
+		return
+	}
+	if !n.inCatchup.Load() {
+		n.inCatchup.Store(true)
+		n.catchupNext.Store(n.pending[0].Instance)
+		n.catchupUnavailFrom = nil
+		n.overruns.Add(1)
+	}
+	n.catchupDropped.Add(uint64(len(n.pending)))
+	n.ReleaseBatch(n.pending)
+	n.pending = n.getBatch()
+}
+
+// finalHandoff runs on the run loop's exit paths: the pending batch is
+// force-enqueued past the lag cap (the delivery stage drains it to a
+// live consumer before closing the stream, as the old blocking final
+// flush did), and a catch-up still in progress is recorded as aborted —
+// the stream is about to end with the dropped range unrecovered, and the
+// consumer must not mistake that for a complete clean shutdown.
+func (n *Node) finalHandoff() {
+	if n.commitWedged {
+		return // withheld deliveries must never outrun durability
+	}
+	if len(n.pending) > 0 && !n.inCatchup.Load() {
+		n.forceEnqueue(n.pending)
+		n.pending = nil
+	}
+	if n.inCatchup.Load() {
+		n.catchupAborted.Add(1)
+	}
+}
+
+// forceEnqueue stages a batch bypassing the lag cap (exit paths only).
+func (n *Node) forceEnqueue(b []Delivery) {
+	if len(b) == 0 {
+		return
+	}
+	n.dmu.Lock()
+	if !n.dclosed {
+		n.dqueue = append(n.dqueue, b)
+		n.dlag += len(b)
+	}
+	n.dmu.Unlock()
+	n.dcond.Signal()
+}
+
+// pumpCatchup advances catch-up once the consumer has drained enough of
+// the delivery buffer: the dropped range [catchupNext, nextDeliver) is
+// re-fetched through the retransmit path — served locally when this
+// process is an acceptor (the accepted map and the stable log hold every
+// decided instance below the delivery watermark), requested from a peer
+// acceptor otherwise. allowRemote gates the network request to the retry
+// tick so a hot event loop does not spam duplicate RetransmitReqs while a
+// response is in flight. Runs on the event loop.
+func (n *Node) pumpCatchup(allowRemote bool) {
+	if !n.inCatchup.Load() || n.commitWedged || n.deliveryClosed() {
+		return
+	}
+	if n.catchupNext.Load() >= n.nextDeliver {
+		n.inCatchup.Store(false) // caught up; live delivery resumes seamlessly
+		return
+	}
+	room := n.deliveryRoom()
+	if threshold := min(deliveryBatchCap, n.cfg.DeliverBuffer/2); room < max(1, threshold) {
+		return // consumer still backlogged; try again next tick
+	}
+	if n.isAcceptor() {
+		n.serveCatchupLocal(room)
+		if n.catchupNext.Load() >= n.nextDeliver {
+			n.inCatchup.Store(false)
+			return
+		}
+		// Local serving stopped. Re-read the room: if it ran out, the
+		// stop was room-limited — do not ask a peer for instances we
+		// cannot accept (the zero-room response would read as trim
+		// evidence). Only a hole in the local record (a decision learned
+		// without our own vote) justifies the remote request.
+		room = n.deliveryRoom()
+		if room == 0 {
+			return
+		}
+	}
+	if !allowRemote {
+		return
+	}
+	target := n.catchupTarget()
+	if target == 0 {
+		return
+	}
+	count := uint64(room)
+	if c := n.nextDeliver - n.catchupNext.Load(); c < count {
+		count = c
+	}
+	if count > 512 {
+		count = 512
+	}
+	n.send(target, transport.Message{
+		Kind:     transport.KindRetransmitReq,
+		Ring:     n.ring,
+		Instance: n.catchupNext.Load(),
+		Count:    uint32(count),
+	})
+}
+
+// serveCatchupLocal replays decided instances from this acceptor's own
+// record into the delivery stage, stopping at the first hole, at the live
+// watermark, or when room runs out. catchupNext only advances for entries
+// the stage actually accepted.
+func (n *Node) serveCatchupLocal(room int) {
+	batch := n.getBatch()
+	next := n.catchupNext.Load()
+	for room > 0 && next < n.nextDeliver {
+		v, ok := n.lookupDecided(next)
+		if !ok {
+			break
+		}
+		batch = append(batch, Delivery{Ring: n.ring, Instance: next, Value: v})
+		next += v.Span()
+		room--
+		if len(batch) >= deliveryBatchCap {
+			if !n.enqueueBatch(batch) {
+				n.ReleaseBatch(batch)
+				return
+			}
+			n.catchupServed.Add(uint64(len(batch)))
+			n.catchupNext.Store(next)
+			n.catchupUnavailFrom = nil // progress: stale evidence
+			batch = n.getBatch()
+		}
+	}
+	if len(batch) > 0 && n.enqueueBatch(batch) {
+		n.catchupServed.Add(uint64(len(batch)))
+		n.catchupNext.Store(next)
+		n.catchupUnavailFrom = nil // progress invalidates unavailable reports
+		return
+	}
+	n.ReleaseBatch(batch)
+}
+
+// lookupDecided returns the decided value of an instance below the
+// delivery watermark, from the volatile accepted map or the stable log.
+func (n *Node) lookupDecided(inst uint64) (transport.Value, bool) {
+	if rec, ok := n.accepted[inst]; ok {
+		return rec.value, true
+	}
+	if n.cfg.Log != nil {
+		if rec, ok := n.cfg.Log.Get(inst); ok {
+			if _, rinst, v, err := decodeAccept(rec); err == nil && rinst == inst {
+				return v, true
+			}
+		}
+	}
+	return transport.Value{}, false
+}
+
+// peerAcceptors returns the live peer acceptors (excluding self) — the
+// single source for retransmission targets and the catch-up abort
+// threshold, so the queried set and the abort quorum cannot diverge.
+func (n *Node) peerAcceptors() []transport.ProcessID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var peers []transport.ProcessID
+	for _, a := range n.rc.AliveAcceptors() {
+		if a != n.id {
+			peers = append(peers, a)
+		}
+	}
+	return peers
+}
+
+// retransmitTarget picks a live peer acceptor to request retransmissions
+// from (0 if none).
+func (n *Node) retransmitTarget() transport.ProcessID {
+	if peers := n.peerAcceptors(); len(peers) > 0 {
+		return peers[0]
+	}
+	return 0
+}
+
+// catchupTarget rotates over the live peer acceptors so consecutive
+// catch-up requests consult different peers — one acceptor's vote hole
+// must not look like a trimmed range.
+func (n *Node) catchupTarget() transport.ProcessID {
+	peers := n.peerAcceptors()
+	if len(peers) == 0 {
+		return 0
+	}
+	n.catchupRR++
+	return peers[n.catchupRR%len(peers)]
+}
+
+// deliveryClosed reports whether the delivery stream has been closed.
+func (n *Node) deliveryClosed() bool {
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	return n.dclosed
+}
+
+// abortCatchup terminates the delivery stream: every live peer acceptor
+// positively reported the catch-up range trimmed, so the dropped
+// deliveries are unrecoverable at ring level. Closing the stream is the
+// loud failure — the consumer observes end-of-stream and recovers via
+// checkpoint transfer (Section 5.2), exactly as the trim quorum's
+// Predicate 2 assumes for replicas outside it. The node keeps its
+// acceptor and forwarder duties.
+func (n *Node) abortCatchup() {
+	n.catchupAborted.Add(1)
+	n.closeDelivery()
+}
+
+// FlowStats reports the delivery stage's flow-control counters.
+type FlowStats struct {
+	// Lag is the number of delivery entries currently staged between the
+	// event loop and the consumer.
+	Lag int
+	// CatchupActive reports whether the learner is re-fetching dropped
+	// deliveries through the retransmit path; CatchupNext is the next
+	// instance the consumer still needs (the catch-up watermark).
+	CatchupActive bool
+	CatchupNext   uint64
+	// Overruns counts transitions into catch-up (buffer overruns).
+	Overruns uint64
+	// DroppedEntries counts delivery entries dropped at overruns (all
+	// re-served later through catch-up).
+	DroppedEntries uint64
+	// ServedEntries counts delivery entries re-served via catch-up.
+	ServedEntries uint64
+	// CatchupAborted counts delivery streams terminated because the
+	// catch-up range was trimmed from every live acceptor (the consumer
+	// must recover via checkpoint transfer).
+	CatchupAborted uint64
+	// ShedProposals counts proposals refused at this coordinator with an
+	// Overloaded reply because the proposal queue was full.
+	ShedProposals uint64
+	// StallFeedback counts merge-stall feedback messages received by this
+	// coordinator from learners (adaptive rate leveling).
+	StallFeedback uint64
+}
+
+// FlowStats snapshots the node's flow-control instrumentation. Safe to
+// call from any goroutine.
+func (n *Node) FlowStats() FlowStats {
+	n.dmu.Lock()
+	lag := n.dlag
+	n.dmu.Unlock()
+	return FlowStats{
+		Lag:            lag,
+		CatchupActive:  n.inCatchup.Load(),
+		CatchupNext:    n.catchupNext.Load(),
+		Overruns:       n.overruns.Load(),
+		DroppedEntries: n.catchupDropped.Load(),
+		ServedEntries:  n.catchupServed.Load(),
+		CatchupAborted: n.catchupAborted.Load(),
+		ShedProposals:  n.shedCount.Load(),
+		StallFeedback:  n.fbCount.Load(),
+	}
+}
+
+// LambdaNow reports the coordinator's current rate-leveling target λ in
+// messages/second (the static Lambda unless AdaptiveSkip moved it).
+func (n *Node) LambdaNow() int {
+	return int(n.lambdaGauge.Load())
+}
+
+// ReportMergeStall sends rate-leveling feedback to this ring's
+// coordinator: the deterministic merge waited `stall` on this ring since
+// the last report. The coordinator raises its skip cadence (within
+// [LambdaMin, LambdaMax]) so lagging rings stop throttling learners that
+// also subscribe to faster rings. Safe to call from any goroutine (the
+// merge goroutine calls it).
+func (n *Node) ReportMergeStall(stall time.Duration) {
+	if stall <= 0 {
+		return
+	}
+	n.mu.Lock()
+	coordID := n.rc.Coordinator
+	n.mu.Unlock()
+	if coordID == 0 {
+		return
+	}
+	_ = n.tr.Send(coordID, transport.Message{
+		Kind:     transport.KindFlowFeedback,
+		Ring:     n.ring,
+		Instance: uint64(stall),
+	})
+}

@@ -72,7 +72,10 @@ type Config struct {
 	// RetryInterval is how often the coordinator re-proposes undecided
 	// instances and learners chase delivery gaps.
 	RetryInterval time.Duration
-	// DeliverBuffer is the capacity of the delivery channel.
+	// DeliverBuffer caps the delivery stage's lag, in delivery entries: a
+	// subscriber that falls further behind than this transitions the
+	// learner to catch-up (retransmit-path redelivery) instead of
+	// blocking the protocol event loop.
 	DeliverBuffer int
 
 	// SkipEnabled turns on rate leveling (Section 4).
@@ -80,8 +83,21 @@ type Config struct {
 	// Delta is the rate-leveling interval (paper: 5 ms LAN, 20 ms WAN).
 	Delta time.Duration
 	// Lambda is the maximum expected message rate per second (paper:
-	// 9000 LAN, 2000 WAN).
+	// 9000 LAN, 2000 WAN). With AdaptiveSkip it is only the initial
+	// target.
 	Lambda int
+	// AdaptiveSkip replaces the statically preset λ with a feedback loop:
+	// the coordinator tracks its decided-rate EWMA per Δ window and moves
+	// the skip target within [LambdaMin, LambdaMax] — up sharply when
+	// learners report that the deterministic merge is stalling on this
+	// ring (KindFlowFeedback), down gently when nobody is waiting, so a
+	// lagging ring levels itself and fast rings stop flooding skip
+	// traffic through the WAL and network.
+	AdaptiveSkip bool
+	// LambdaMin / LambdaMax bound the adaptive skip target (defaults:
+	// Lambda/16 and Lambda*16).
+	LambdaMin int
+	LambdaMax int
 
 	// TrimInterval enables coordinator-driven log trimming (Section 5.2).
 	// Zero disables it.
@@ -118,6 +134,14 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.Lambda == 0 {
 		out.Lambda = 9000
+	}
+	if out.AdaptiveSkip {
+		if out.LambdaMin == 0 {
+			out.LambdaMin = max(1, out.Lambda/16)
+		}
+		if out.LambdaMax == 0 {
+			out.LambdaMax = out.Lambda * 16
+		}
 	}
 	return out
 }
@@ -159,6 +183,41 @@ type Node struct {
 	deliverCh chan []Delivery
 	pending   []Delivery
 	batchFree chan []Delivery
+
+	// Delivery stage (delivery.go): the run loop hands finished batches
+	// to dqueue (bounded by DeliverBuffer entries, tracked in dlag) and
+	// the deliveryLoop goroutine drains them into deliverCh, absorbing
+	// all consumer-side blocking.
+	dmu          sync.Mutex
+	dcond        *sync.Cond
+	dqueue       [][]Delivery
+	dhead        int // index of the next batch to drain (O(1) pops)
+	dlag         int
+	dclosed      bool
+	deliveryDone chan struct{}
+
+	// Catch-up state: catchupNext (written only by the run loop; atomic
+	// so FlowStats can read the watermark) is the next instance the
+	// consumer still needs after a buffer overrun; inCatchup mirrors the
+	// mode for concurrent readers. catchupRR rotates retransmission
+	// targets and catchupUnavailFrom records which peers reported the
+	// range unservable (abort once every live peer acceptor did).
+	catchupNext        atomic.Uint64
+	inCatchup          atomic.Bool
+	catchupRR          int
+	catchupUnavailFrom map[transport.ProcessID]bool
+
+	// Flow-control instrumentation (atomics; read by FlowStats).
+	overruns       atomic.Uint64
+	catchupDropped atomic.Uint64
+	catchupServed  atomic.Uint64
+	catchupAborted atomic.Uint64
+	shedCount      atomic.Uint64
+	fbCount        atomic.Uint64
+	lambdaGauge    metrics.Gauge
+
+	// pacer owns rate-leveling accounting (run-loop owned).
+	pacer *skipPacer
 
 	// perMsgOnce/perMsgCh back the per-message Deliveries adapter.
 	perMsgOnce sync.Once
@@ -247,9 +306,10 @@ func New(cfg Config) (*Node, error) {
 		in:           cfg.Router.Ring(cfg.Ring),
 		watch:        watch,
 		cancelWatch:  cancel,
-		deliverCh:    make(chan []Delivery, max(1, cfg.DeliverBuffer/deliveryBatchCap)),
+		deliverCh:    make(chan []Delivery, 2),
 		pending:      make([]Delivery, 0, deliveryBatchCap),
 		batchFree:    make(chan []Delivery, 32),
+		deliveryDone: make(chan struct{}),
 		inFlight:     make(map[uint64]*flight),
 		learned:      make(map[uint64]transport.Value),
 		nextDeliver:  max(1, cfg.StartInstance),
@@ -259,6 +319,9 @@ func New(cfg Config) (*Node, error) {
 		done:         make(chan struct{}),
 		loopDone:     make(chan struct{}),
 	}
+	n.dcond = sync.NewCond(&n.dmu)
+	n.pacer = newSkipPacer(cfg)
+	n.lambdaGauge.Set(int64(cfg.Lambda))
 	n.batchTr, _ = n.tr.(transport.BatchSender)
 	// Recover durable acceptor state and apply the initial configuration
 	// before accepting traffic, so proposals arriving immediately after
@@ -267,6 +330,7 @@ func New(cfg Config) (*Node, error) {
 	// run loop before it first blocks.
 	n.recoverFromLog()
 	n.applyConfig(rc)
+	go n.deliveryLoop()
 	go n.run()
 	return n, nil
 }
@@ -286,6 +350,13 @@ func (n *Node) Ring() transport.RingID { return n.ring }
 // never empty and are closed when the node stops. Consumers should hand
 // exhausted batches back with ReleaseBatch so their buffers are reused.
 // At most one of DeliveryBatches and Deliveries may be consumed.
+//
+// The stream also closes — with the node still running its acceptor and
+// forwarder duties — if the consumer falls so far behind that its
+// catch-up range was trimmed from every live acceptor's log
+// (FlowStats.CatchupAborted): the lost range is unrecoverable at ring
+// level and the consumer must recover via checkpoint transfer
+// (Section 5.2).
 func (n *Node) DeliveryBatches() <-chan []Delivery { return n.deliverCh }
 
 // ReleaseBatch returns a batch obtained from DeliveryBatches to the node's
@@ -380,6 +451,11 @@ func (n *Node) ProposeValue(v transport.Value) error {
 		Kind:  transport.KindProposal,
 		Ring:  n.ring,
 		Value: v,
+		// Seq carries the ORIGINAL proposer: the transport restamps From
+		// at every hop, so a proposal forwarded to the real coordinator
+		// would otherwise have its admission-control reply (Overloaded)
+		// routed to the forwarder instead of the client.
+		Seq: uint64(n.id),
 	})
 }
 
@@ -394,6 +470,7 @@ func (n *Node) Stop() {
 		n.cancelWatch()
 		close(n.done)
 		<-n.loopDone
+		<-n.deliveryDone
 	})
 }
 

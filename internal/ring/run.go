@@ -19,6 +19,9 @@ import (
 // a syscall per message.
 func (n *Node) run() {
 	defer close(n.loopDone)
+	// The delivery stage owns deliverCh: tell it to drain what it holds
+	// and close the channel once this loop exits.
+	defer n.closeDelivery()
 
 	// The retry ticker fires at a quarter of the retry interval so phase-1
 	// re-runs and gap probes react quickly after startup or elections; the
@@ -44,36 +47,23 @@ func (n *Node) run() {
 	n.commitStaged()
 
 	for {
-		// With deliveries pending and the channel previously full, arm a
-		// send case so the batch goes out the moment the consumer frees
-		// a slot — decided messages never wait for the next event or
-		// timer tick.
-		var flushC chan []Delivery
-		if len(n.pending) > 0 && !n.commitWedged {
-			flushC = n.deliverCh
-		}
+		allowRemoteCatchup := false
 		select {
-		case flushC <- n.pending:
-			n.pending = n.getBatch()
-			continue
 		case <-n.done:
 			n.commitStaged()
-			n.flushBestEffort()
-			close(n.deliverCh)
+			n.finalHandoff()
 			return
 		case cfg, ok := <-n.watch:
 			if !ok {
 				n.commitStaged()
-				n.flushFinal()
-				close(n.deliverCh)
+				n.finalHandoff()
 				return
 			}
 			n.applyConfig(cfg)
 		case m, ok := <-n.in:
 			if !ok {
 				n.commitStaged()
-				n.flushFinal()
-				close(n.deliverCh)
+				n.finalHandoff()
 				return
 			}
 			n.handle(m)
@@ -87,8 +77,7 @@ func (n *Node) run() {
 				case m, more := <-n.in:
 					if !more {
 						n.commitStaged()
-						n.flushFinal()
-						close(n.deliverCh)
+						n.finalHandoff()
 						return
 					}
 					n.handle(m)
@@ -99,6 +88,7 @@ func (n *Node) run() {
 		case <-retry.C:
 			n.retryUndecided()
 			n.chaseGaps()
+			allowRemoteCatchup = true
 		case <-skipC:
 			n.maybeSkip()
 		case <-trimC:
@@ -108,7 +98,13 @@ func (n *Node) run() {
 		// deliveries over: a delivery must never outrun the durability
 		// of the votes that decided it.
 		n.commitStaged()
-		n.flushDeliveries()
+		n.handoffPending()
+		// With everything durable, catch-up may replay dropped instances
+		// into the freed delivery buffer. Remote retransmit requests are
+		// paced by the retry tick; the extra commit releases one if
+		// staged (a no-op otherwise).
+		n.pumpCatchup(allowRemoteCatchup)
+		n.commitStaged()
 	}
 }
 
@@ -168,53 +164,6 @@ func (n *Node) commitStaged() {
 // stagePut queues a durable record for the burst's group commit.
 func (n *Node) stagePut(instance uint64, record []byte) {
 	n.walBatch = append(n.walBatch, storage.Record{Instance: instance, Data: record})
-}
-
-// flushDeliveries hands the pending batch to the delivery channel with a
-// non-blocking send. If the channel is full the batch keeps accumulating
-// — amortizing channel operations while the consumer works through its
-// queue — and the run loop's armed send case delivers it the instant a
-// slot frees, so batching never strands a decided message. Backpressure
-// comes from learnDecision, which blocks once the pending batch reaches
-// its cap (as the per-message path blocked on a full channel).
-func (n *Node) flushDeliveries() {
-	if len(n.pending) == 0 || n.commitWedged {
-		return
-	}
-	select {
-	case n.deliverCh <- n.pending:
-		n.pending = n.getBatch()
-	default: // channel full: the run-loop send case retries
-	}
-}
-
-// flushFinal delivers the pending batch before the channel closes when the
-// input or watch channel ends. The send blocks (as the per-message path
-// blocked) so a live consumer receives every decision already handled;
-// Stop's done close releases the loop if the consumer is gone.
-func (n *Node) flushFinal() {
-	if len(n.pending) == 0 || n.commitWedged {
-		return
-	}
-	select {
-	case n.deliverCh <- n.pending:
-		n.pending = nil
-	case <-n.done:
-	}
-}
-
-// flushBestEffort is the explicit-Stop flush: done is already closed, so
-// hand over the pending batch only if the consumer has room (pending
-// deliveries may be lost on Stop, as documented).
-func (n *Node) flushBestEffort() {
-	if len(n.pending) == 0 || n.commitWedged {
-		return
-	}
-	select {
-	case n.deliverCh <- n.pending:
-		n.pending = nil
-	default:
-	}
 }
 
 // recoverFromLog rebuilds volatile acceptor state from the stable log after
@@ -297,7 +246,19 @@ func (n *Node) handle(m transport.Message) {
 		n.handleSafeResp(m)
 	case transport.KindTrim:
 		n.handleTrim(m)
+	case transport.KindFlowFeedback:
+		n.handleFlowFeedback(m)
 	}
+}
+
+// handleFlowFeedback feeds a learner's merge-stall report into the
+// coordinator's rate-leveling pacer (adaptive λ).
+func (n *Node) handleFlowFeedback(m transport.Message) {
+	if !n.isCoord || !n.cfg.AdaptiveSkip {
+		return
+	}
+	n.pacer.observeStall(time.Duration(m.Instance))
+	n.fbCount.Add(1)
 }
 
 // handleProposal enqueues a value at the coordinator or forwards it there.
@@ -312,10 +273,51 @@ func (n *Node) handleProposal(m transport.Message) {
 		return
 	}
 	if n.pendingQ.len() >= n.cfg.MaxPending {
-		return // shed load; clients retry end-to-end
+		// Queue-depth-aware admission control: shed the proposal loudly.
+		// A silent drop is indistinguishable from loss, so clients used
+		// to hammer the overloaded coordinator with blind retransmits;
+		// the Overloaded reply carries a retry-after estimate derived
+		// from the queue depth and the decided-rate EWMA so they back
+		// off for roughly one queue-drain time instead.
+		n.shedCount.Add(1)
+		// Reply to the ORIGINAL proposer (Seq, stamped at the client;
+		// m.From is restamped per hop and would name the forwarder for
+		// proposals that bounced through a non-coordinator).
+		replyTo := m.From
+		if m.Seq != 0 {
+			replyTo = transport.ProcessID(m.Seq)
+		}
+		if replyTo != 0 {
+			n.send(replyTo, transport.Message{
+				Kind:     transport.KindOverloaded,
+				Instance: uint64(n.retryAfter() / time.Millisecond),
+				Count:    uint32(n.pendingQ.len()),
+				Value:    transport.Value{ID: m.Value.ID},
+			})
+		}
+		return
 	}
 	n.pendingQ.push(m.Value)
 	n.tryPropose()
+}
+
+// retryAfter estimates how long a shed proposer should back off: the time
+// this coordinator needs to drain its full proposal queue at the recent
+// decided rate, clamped to [5ms, 2s]. Without a rate sample (skips off or
+// ring idle) it falls back to the retry interval.
+func (n *Node) retryAfter() time.Duration {
+	rate := n.pacer.rate.Value()
+	if rate < 1 {
+		return n.cfg.RetryInterval
+	}
+	d := time.Duration(float64(n.cfg.MaxPending) / rate * float64(time.Second))
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
 }
 
 // tryPropose assigns queued proposals to consensus instances while the
@@ -568,6 +570,9 @@ func (n *Node) handleDecision(m transport.Message) {
 }
 
 // learnDecision records a decided instance and advances in-order delivery.
+// It never blocks: finished batches go to the delivery stage, and if the
+// stage's lag cap is hit the learner transitions to catch-up instead of
+// wedging the event loop (and with it acceptor voting and forwarding).
 func (n *Node) learnDecision(inst uint64, v transport.Value) {
 	if inst < n.nextDeliver {
 		n.coordObserveDecided(inst)
@@ -592,23 +597,21 @@ func (n *Node) learnDecision(inst uint64, v transport.Value) {
 		if val.Skip {
 			n.skippedCount.Add(uint64(val.Span()))
 		}
-		if n.isLearner() {
+		// While catching up, live deliveries are suppressed — the
+		// consumer has not yet seen [catchupNext, here), so delivering
+		// now would reorder; the retransmit path replays this instance
+		// later (the protocol still advances at full speed).
+		if n.isLearner() && !n.inCatchup.Load() {
 			n.pending = append(n.pending, Delivery{Ring: n.ring, Instance: n.nextDeliver, Value: val})
 			if len(n.pending) >= deliveryBatchCap {
-				// Full batch mid-drain (catch-up bursts): hand it over
-				// with backpressure before accumulating more. Commit
-				// staged votes first — a released delivery must never
-				// depend on a vote that is not yet durable — and keep
-				// accumulating if the commit is wedged.
+				// Full batch mid-drain (burst catch-ups): hand it over
+				// before accumulating more. Commit staged votes first —
+				// a released delivery must never depend on a vote that
+				// is not yet durable — and keep accumulating if the
+				// commit is wedged.
 				n.commitStaged()
-				if n.commitWedged {
-					continue
-				}
-				select {
-				case n.deliverCh <- n.pending:
-					n.pending = n.getBatch()
-				case <-n.done:
-					return
+				if !n.commitWedged {
+					n.handoffPending()
 				}
 			}
 		}
@@ -670,15 +673,7 @@ func (n *Node) chaseGaps() {
 		}
 		n.idleTicks = 0
 	}
-	n.mu.Lock()
-	var target transport.ProcessID
-	for _, a := range n.rc.AliveAcceptors() {
-		if a != n.id {
-			target = a
-			break
-		}
-	}
-	n.mu.Unlock()
+	target := n.retransmitTarget()
 	if target == 0 {
 		return
 	}
@@ -706,62 +701,179 @@ func (n *Node) handleRetransmitReq(m transport.Message) {
 	var batch []transport.InstanceValue
 	end := m.Instance + uint64(m.Count)
 	for inst := m.Instance; inst < end && inst < n.nextDeliver; inst++ {
-		if rec, ok := n.accepted[inst]; ok {
-			batch = append(batch, transport.InstanceValue{Instance: inst, Value: rec.value})
-			inst += rec.value.Span() - 1
-			continue
-		}
-		if rec, ok := n.cfg.Log.Get(inst); ok {
-			if _, rinst, v, err := decodeAccept(rec); err == nil && rinst == inst {
-				batch = append(batch, transport.InstanceValue{Instance: inst, Value: v})
-				inst += v.Span() - 1
-			}
+		if v, ok := n.lookupDecided(inst); ok {
+			batch = append(batch, transport.InstanceValue{Instance: inst, Value: v})
+			inst += v.Span() - 1
 		}
 	}
 	if len(batch) == 0 {
+		if m.Instance < n.nextDeliver {
+			// The range is decided but this acceptor cannot serve any of
+			// it — it was trimmed (Section 5.2: a checkpoint quorum made
+			// it reclaimable). Say so explicitly: a catch-up learner
+			// would otherwise retry a silent void forever. Seq carries
+			// the first decided instance still retained (0 if none) as
+			// positive evidence of the trim.
+			n.send(m.From, transport.Message{
+				Kind:     transport.KindRetransmitResp,
+				Ring:     n.ring,
+				Instance: m.Instance,
+				Count:    retransmitUnavailable,
+				Seq:      n.firstRetainedFrom(m.Instance),
+			})
+		}
 		return
 	}
 	n.send(m.From, transport.Message{
-		Kind:    transport.KindRetransmitResp,
-		Ring:    n.ring,
-		Payload: transport.EncodeBatch(batch),
+		Kind: transport.KindRetransmitResp,
+		Ring: n.ring,
+		// Echo the request start so the receiver can correlate the
+		// response to a specific catch-up window (starved-above trim
+		// evidence must not be derived from unrelated gap-chase
+		// responses).
+		Instance: m.Instance,
+		Payload:  transport.EncodeBatch(batch),
 	})
 }
 
-// handleRetransmitResp applies retransmitted decisions.
+// retransmitUnavailable in RetransmitResp.Count flags an empty reply for
+// a decided-but-trimmed range.
+const retransmitUnavailable = 1
+
+// firstRetainedFrom returns the smallest decided instance >= from that
+// this acceptor can still serve, or 0 if none.
+func (n *Node) firstRetainedFrom(from uint64) uint64 {
+	i := sort.Search(len(n.acceptedIdx), func(i int) bool { return n.acceptedIdx[i] >= from })
+	if i < len(n.acceptedIdx) && n.acceptedIdx[i] < n.nextDeliver {
+		return n.acceptedIdx[i]
+	}
+	return 0
+}
+
+// handleRetransmitResp applies retransmitted decisions. During catch-up,
+// entries contiguous from catchupNext are replayed straight into the
+// delivery stage (they are below the protocol watermark — learnDecision
+// would discard them as duplicates); everything else feeds the normal
+// gap-filling path.
 func (n *Node) handleRetransmitResp(m transport.Message) {
+	if len(m.Payload) == 0 && m.Count == retransmitUnavailable {
+		// The acceptor reported our catch-up range unservable: trimmed
+		// (Seq names its first retained instance) or simply absent.
+		// Either way the data is gone from that peer — the dropped
+		// deliveries may be unrecoverable at ring level, so count the
+		// report toward an abort instead of wedging in catch-up forever;
+		// the consumer recovers via checkpoint transfer, the same path
+		// the trim quorum's Predicate 2 assumes for replicas outside it.
+		if n.inCatchup.Load() && m.Instance == n.catchupNext.Load() {
+			n.noteCatchupUnavailable(m.From)
+		}
+		return
+	}
 	batch, err := transport.DecodeBatch(m.Payload)
 	if err != nil {
 		return
 	}
+	var cb []Delivery
+	next := n.catchupNext.Load()
+	room := n.deliveryRoom()
+	// Starved-above trim evidence is only valid for a response to OUR
+	// catch-up request: the echoed request start must equal the current
+	// watermark (a delayed gap-chase response — requested from the
+	// protocol watermark, not the catch-up one — must not mark a peer
+	// as unable to serve a range it was never asked for).
+	forCatchup := m.Instance == next
+	starvedAbove, sawNext := false, false
 	for _, iv := range batch {
+		if n.inCatchup.Load() && iv.Instance < n.nextDeliver {
+			switch {
+			case iv.Instance == next && room > 0:
+				if cb == nil {
+					cb = n.getBatch()
+				}
+				cb = append(cb, Delivery{Ring: n.ring, Instance: iv.Instance, Value: iv.Value})
+				next += iv.Value.Span()
+				room--
+				continue
+			case iv.Instance == next:
+				// The peer HAS our watermark instance; only the local
+				// room ran out. Not trim evidence.
+				sawNext = true
+			case iv.Instance > next:
+				// The peer served decided instances ABOVE our catch-up
+				// watermark but nothing at it — e.g. the trim point fell
+				// inside the requested window. Same evidence as an
+				// explicit unavailable report (unless the watermark
+				// entry was present, see sawNext).
+				starvedAbove = true
+			}
+		}
 		n.learnDecision(iv.Instance, iv.Value)
+	}
+	if len(cb) == 0 {
+		if cb != nil {
+			n.ReleaseBatch(cb)
+		}
+		if starvedAbove && !sawNext && forCatchup && n.inCatchup.Load() {
+			n.noteCatchupUnavailable(m.From)
+		}
+		return
+	}
+	if !n.enqueueBatch(cb) {
+		n.ReleaseBatch(cb) // room raced away; the next tick re-requests
+		return
+	}
+	n.catchupServed.Add(uint64(len(cb)))
+	n.catchupNext.Store(next)
+	n.catchupUnavailFrom = nil // progress: earlier unavailable reports are stale
+	if n.catchupNext.Load() >= n.nextDeliver {
+		n.inCatchup.Store(false)
 	}
 }
 
+// noteCatchupUnavailable records one peer's report that the catch-up
+// range cannot be served. One acceptor might merely have a vote hole (or
+// a fresh post-crash log) where others still serve, so the stream aborts
+// only once every live peer acceptor has reported the range gone —
+// distinct peers, not repeated reports from one (requests rotate over
+// them).
+func (n *Node) noteCatchupUnavailable(from transport.ProcessID) {
+	if n.catchupUnavailFrom == nil {
+		n.catchupUnavailFrom = make(map[transport.ProcessID]bool)
+	}
+	n.catchupUnavailFrom[from] = true
+	peers := n.peerAcceptors()
+	if len(peers) == 0 {
+		return
+	}
+	for _, p := range peers {
+		if !n.catchupUnavailFrom[p] {
+			return
+		}
+	}
+	n.abortCatchup()
+}
+
 // maybeSkip implements rate leveling: if the coordinator proposed fewer
-// values than λ·Δ in the last window, it proposes one skip value covering
-// the shortfall so learners merging this ring do not stall (Section 4).
+// values than the pacer's target λ·Δ in the last window, it proposes one
+// skip value covering the shortfall so learners merging this ring do not
+// stall (Section 4). The pacer owns the window accounting — including the
+// saturated-pipeline deficit carry and, with AdaptiveSkip, the
+// feedback-driven λ adjustment.
 func (n *Node) maybeSkip() {
 	if !n.isCoord || !n.phase1Ready {
 		return
 	}
-	target := int(float64(n.cfg.Lambda) * n.cfg.Delta.Seconds())
-	if target < 1 {
-		target = 1
-	}
-	deficit := target - n.proposedInWin
+	proposed := n.proposedInWin
 	n.proposedInWin = 0
-	if deficit <= 0 {
+	span := n.pacer.window(proposed, len(n.inFlight) >= n.cfg.Window)
+	n.lambdaGauge.Set(int64(n.pacer.lambdaNow))
+	if span <= 0 {
 		return
-	}
-	if len(n.inFlight) >= n.cfg.Window {
-		return // pipeline saturated; ring is anything but idle
 	}
 	n.proposeValue(transport.Value{
 		ID:    transport.MakeValueID(n.id, n.proposeSeq.Add(1)),
 		Skip:  true,
-		Count: uint32(deficit),
+		Count: uint32(span),
 	})
 }
 

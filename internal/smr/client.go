@@ -2,11 +2,14 @@ package smr
 
 import (
 	"errors"
+	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"amcast/internal/core"
+	"amcast/internal/ring"
 	"amcast/internal/transport"
 )
 
@@ -23,9 +26,18 @@ type Client struct {
 
 	mu      sync.Mutex
 	waiters map[uint64]*waiter
+	// byValue maps an in-flight command's multicast value id to its
+	// sequence number, so coordinator Overloaded replies (which only see
+	// the opaque value) reach the right waiter.
+	byValue map[uint64]uint64
 	closed  bool
 
 	seq atomic.Uint64
+
+	// Flow-control instrumentation: command retransmissions and
+	// overload-driven backoffs.
+	retransmits     atomic.Uint64
+	overloadBackoff atomic.Uint64
 
 	done     chan struct{}
 	loopDone chan struct{}
@@ -38,6 +50,9 @@ type waiter struct {
 	seen   map[transport.RingID]bool
 	resps  [][]byte
 	ch     chan [][]byte
+	// overload receives a coordinator's retry-after hint when the
+	// command was shed by admission control (buffered, 1).
+	overload chan time.Duration
 }
 
 // match classifies a response by its delivery group and partition tag and
@@ -80,6 +95,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		node:     cfg.Node,
 		tr:       cfg.Transport,
 		waiters:  make(map[uint64]*waiter),
+		byValue:  make(map[uint64]uint64),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
@@ -135,10 +151,19 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 		}
 	}
 	seq := c.seq.Add(1)
+	// Pre-allocate the multicast value id so coordinator admission
+	// control can address its Overloaded reply to this command (the
+	// payload is opaque to the ring; the value id is all it sees).
+	// Retransmissions reuse the id, so a retried marker still triggers
+	// exactly one epoch transition.
+	if valueID == 0 {
+		valueID = c.node.MarkerID()
+	}
 	w := &waiter{
-		need: need,
-		seen: make(map[transport.RingID]bool),
-		ch:   make(chan [][]byte, 1),
+		need:     need,
+		seen:     make(map[transport.RingID]bool),
+		ch:       make(chan [][]byte, 1),
+		overload: make(chan time.Duration, 1),
 	}
 	if accept != nil {
 		w.accept = make(map[transport.RingID]bool, len(accept))
@@ -152,10 +177,12 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 		return nil, ErrClientClosed
 	}
 	c.waiters[seq] = w
+	c.byValue[valueID] = seq
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
 		delete(c.waiters, seq)
+		delete(c.byValue, valueID)
 		c.mu.Unlock()
 	}()
 
@@ -173,26 +200,66 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 		return nil, err
 	}
 
-	overall := time.After(timeout)
-	retry := time.NewTicker(timeout / 4)
+	// Retransmit on a timer (lost command or response; replicas suppress
+	// duplicates). An Overloaded reply replaces the next retransmission
+	// with a jittered backoff sized by the coordinator's retry-after
+	// hint, so a congested coordinator drains instead of being hammered;
+	// the overall deadline still bounds the whole attempt, and a command
+	// that never got through a full queue fails with an error wrapping
+	// ring.ErrOverloaded so callers can tell overload from loss.
+	overall := time.NewTimer(timeout)
+	defer overall.Stop()
+	baseRetry := timeout / 4
+	retry := time.NewTimer(baseRetry)
 	defer retry.Stop()
+	overloaded := 0
 	for {
 		select {
 		case resps := <-w.ch:
 			return resps, nil
+		case d := <-w.overload:
+			overloaded++
+			c.overloadBackoff.Add(1)
+			if d <= 0 {
+				d = baseRetry
+			}
+			// Full jitter on top of the hint, capped so one backoff
+			// never eats the whole budget.
+			d += rand.N(d/2 + time.Millisecond)
+			if d > timeout/2 {
+				d = timeout / 2
+			}
+			if !retry.Stop() {
+				select {
+				case <-retry.C:
+				default:
+				}
+			}
+			retry.Reset(d)
 		case <-retry.C:
-			// Lost command or response: retransmit (replicas
-			// suppress duplicates).
+			c.retransmits.Add(1)
 			if err := send(); err != nil {
 				return nil, err
 			}
-		case <-overall:
+			retry.Reset(baseRetry)
+		case <-overall.C:
+			if overloaded > 0 {
+				return nil, fmt.Errorf("smr: command timed out after %d overload backoffs: %w", overloaded, ring.ErrOverloaded)
+			}
 			return nil, ErrTimeout
 		case <-c.done:
 			return nil, ErrClientClosed
 		}
 	}
 }
+
+// Retransmits reports command retransmissions issued (lost messages or
+// slow responses).
+func (c *Client) Retransmits() uint64 { return c.retransmits.Load() }
+
+// OverloadBackoffs reports how many times a coordinator shed one of this
+// client's commands and the client backed off instead of hammering it.
+func (c *Client) OverloadBackoffs() uint64 { return c.overloadBackoff.Load() }
 
 // respLoop matches replica responses to waiting submissions.
 func (c *Client) respLoop(service <-chan transport.Message) {
@@ -204,6 +271,21 @@ func (c *Client) respLoop(service <-chan transport.Message) {
 		case m, ok := <-service:
 			if !ok {
 				return
+			}
+			if m.Kind == transport.KindOverloaded {
+				// Admission control: a coordinator shed our proposal.
+				// Route the retry-after hint to the waiting submit.
+				c.mu.Lock()
+				if seq, ok := c.byValue[m.Value.ID]; ok {
+					if w := c.waiters[seq]; w != nil {
+						select {
+						case w.overload <- time.Duration(m.Instance) * time.Millisecond:
+						default:
+						}
+					}
+				}
+				c.mu.Unlock()
+				continue
 			}
 			if m.Kind != transport.KindResponse {
 				continue

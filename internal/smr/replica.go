@@ -1058,6 +1058,16 @@ func (r *Replica) Resubscribe(marker uint64, groups ...transport.RingID) error {
 	return nil
 }
 
+// Halted reports whether this replica's delivery has stopped prematurely
+// — one of its subscribed rings terminated its delivery stream (e.g. the
+// learner fell so far behind that its catch-up range was trimmed from
+// every acceptor) and the deterministic merge exited. The replica keeps
+// answering service RPCs but executes nothing further; recover it via a
+// restart (BuildNode performs the Section 5.2 checkpoint transfer).
+func (r *Replica) Halted() (transport.RingID, bool) {
+	return r.cfg.Node.MergeHalted()
+}
+
 // Epoch reports the subscription epoch of the last durable checkpoint.
 func (r *Replica) Epoch() uint64 {
 	r.mu.Lock()

@@ -705,6 +705,14 @@ func (c *Client) Close() {
 	}
 }
 
+// OverloadBackoffs reports how many times a coordinator shed one of this
+// client's commands under admission control and the underlying smr
+// client backed off (bounded, jittered) instead of retrying blindly.
+// Transient overload never surfaces to callers — operations simply take
+// a backoff longer; only sustained overload fails, with an error
+// wrapping ring.ErrOverloaded.
+func (c *Client) OverloadBackoffs() uint64 { return c.cl.OverloadBackoffs() }
+
 // Schema returns the partitioning schema in use, first applying any
 // pending schema-change notification (newer versions only — the cache
 // never moves backwards).

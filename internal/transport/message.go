@@ -90,6 +90,16 @@ const (
 	// KindRangeChunk streams the captured range back with the same
 	// chunked framing as KindSnapshotChunk (offset/index/count/size/CRC).
 	KindRangeChunk
+	// KindFlowFeedback carries a learner's merge-stall report to a ring's
+	// coordinator (adaptive rate leveling): Instance is the nanoseconds
+	// the deterministic merge waited on this ring since the last report.
+	KindFlowFeedback
+	// KindOverloaded is a coordinator's admission-control reply to a
+	// proposal it refused because its queue is full: Value.ID echoes the
+	// refused proposal's value id, Instance carries the suggested
+	// retry-after in milliseconds, Count the queue depth. Clients back
+	// off (bounded, jittered) instead of retrying blindly.
+	KindOverloaded
 )
 
 var kindNames = map[Kind]string{
@@ -113,6 +123,8 @@ var kindNames = map[Kind]string{
 	KindReconfigAck:     "ReconfigAck",
 	KindRangeReq:        "RangeReq",
 	KindRangeChunk:      "RangeChunk",
+	KindFlowFeedback:    "FlowFeedback",
+	KindOverloaded:      "Overloaded",
 }
 
 func (k Kind) String() string {

@@ -21,7 +21,8 @@ type Router struct {
 func isRingKind(k Kind) bool {
 	switch k {
 	case KindProposal, KindPhase1A, KindPhase1B, KindPhase2, KindDecision,
-		KindRetransmitReq, KindRetransmitResp, KindSafeResp, KindTrim:
+		KindRetransmitReq, KindRetransmitResp, KindSafeResp, KindTrim,
+		KindFlowFeedback:
 		return true
 	default:
 		return false
