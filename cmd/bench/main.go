@@ -14,11 +14,13 @@
 //	bench -reconfig         # online reconfiguration: live split under load
 //	bench -flow             # flow control: static vs adaptive λ,
 //	                        # slow-replica isolation (EC2 WAN)
+//	bench -exec             # execution: parallel apply scaling,
+//	                        # read-index vs multicast reads
 //	bench -duration 5s -scale 0.5 -clients 100 -records 5000
 //
 // Each regression benchmark accepts -json FILE to snapshot its result
 // (BENCH_delivery.json, BENCH_io.json, BENCH_ckpt.json,
-// BENCH_reconfig.json, BENCH_flow.json in CI).
+// BENCH_reconfig.json, BENCH_flow.json, BENCH_exec.json in CI).
 //
 // Scale < 1 shrinks emulated device and WAN latencies proportionally so
 // runs finish quickly while preserving the ratios between configurations;
@@ -49,7 +51,8 @@ func run() error {
 	ckptBench := flag.Bool("ckpt", false, "run the checkpoint-pipeline benchmark (sync-seed vs COW-async)")
 	reconfigBench := flag.Bool("reconfig", false, "run the online-reconfiguration benchmark (live partition split under load)")
 	flowBench := flag.Bool("flow", false, "run the flow-control benchmark (static vs adaptive rate leveling, slow-replica isolation)")
-	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt, -reconfig or -flow benchmark result to this JSON file")
+	execBench := flag.Bool("exec", false, "run the execution benchmark (conflict-aware parallel apply scaling, read-index vs multicast reads)")
+	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt, -reconfig, -flow or -exec benchmark result to this JSON file")
 	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
@@ -64,21 +67,21 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench && !*flowBench {
+	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench && !*flowBench && !*execBench {
 		flag.Usage()
-		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt, -reconfig or -flow")
+		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt, -reconfig, -flow or -exec")
 	}
 	selected := 0
-	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench, *flowBench} {
+	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench, *flowBench, *execBench} {
 		if b {
 			selected++
 		}
 	}
 	if selected > 1 && *benchJSON != "" {
-		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig, -flow")
+		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig, -flow, -exec")
 	}
 	if selected == 0 && *benchJSON != "" {
-		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt, -reconfig and -flow benchmarks only")
+		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt, -reconfig, -flow and -exec benchmarks only")
 	}
 	if !*delivery && *seedBaseline > 0 {
 		return fmt.Errorf("-seed-baseline applies to the -delivery benchmark only")
@@ -147,6 +150,19 @@ func run() error {
 
 	if *flowBench {
 		res, err := bench.FlowBench(o)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+	}
+
+	if *execBench {
+		res, err := bench.ExecBench(o)
 		if err != nil {
 			return err
 		}

@@ -11,9 +11,12 @@
 //
 //	insert <key> <value>
 //	read   <key>
+//	lread  <key>                     # read-index local read (no multicast)
+//	sread  <key> <bound>             # bounded-staleness read, e.g. 100ms
 //	update <key> <value>
 //	delete <key>
 //	scan   <lo> <hi>
+//	lscan  <lo> <hi>                 # local scan, per-partition boundaries
 //	crash  <partition> <replica>     # fail a replica
 //	restart <partition> <replica>    # recover it (checkpoint + catch-up)
 //	quit
@@ -47,6 +50,7 @@ func run() error {
 	replicas := flag.Int("replicas", 3, "replicas per partition")
 	global := flag.Bool("global", true, "add a global ring for ordered scans")
 	rangePart := flag.Bool("range", false, "range partitioning (default hash)")
+	execWorkers := flag.Int("exec-workers", 0, "parallel-apply workers per replica (0 = sequential)")
 	flag.Parse()
 
 	d := cluster.NewDeployment(nil)
@@ -60,6 +64,7 @@ func run() error {
 		Replicas:        *replicas,
 		Global:          *global,
 		Kind:            kind,
+		ExecWorkers:     *execWorkers,
 		CheckpointEvery: 100,
 		RecoveryTimeout: 2 * time.Second,
 		Ring: core.RingOptions{
@@ -80,7 +85,7 @@ func run() error {
 
 	fmt.Printf("MRP-Store up: %d partitions x %d replicas (global ring: %v)\n",
 		*partitions, *replicas, *global)
-	fmt.Println("commands: insert|read|update|delete|scan|crash|restart|quit")
+	fmt.Println("commands: insert|read|lread|sread|update|delete|scan|lscan|crash|restart|quit")
 
 	sc2 := bufio.NewScanner(os.Stdin)
 	for {
@@ -107,31 +112,54 @@ func run() error {
 				err = sc.Update(fields[1], []byte(fields[2]))
 			}
 			report(err, "ok")
-		case "read":
+		case "read", "lread":
 			if len(fields) != 2 {
-				fmt.Println("usage: read <key>")
+				fmt.Println("usage:", fields[0], "<key>")
 				continue
 			}
-			v, ok, err := sc.Read(fields[1])
-			if err != nil {
-				report(err, "")
-			} else if !ok {
-				fmt.Println("(not found)")
+			var (
+				v   []byte
+				ok  bool
+				err error
+			)
+			if fields[0] == "read" {
+				v, ok, err = sc.Read(fields[1])
 			} else {
-				fmt.Printf("%s\n", v)
+				v, ok, err = sc.ReadLocal(fields[1])
 			}
+			printRead(v, ok, err)
+		case "sread":
+			if len(fields) != 3 {
+				fmt.Println("usage: sread <key> <bound>  (e.g. sread k 100ms)")
+				continue
+			}
+			bound, err := time.ParseDuration(fields[2])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			v, ok, err := sc.ReadStale(fields[1], bound)
+			printRead(v, ok, err)
 		case "delete":
 			if len(fields) != 2 {
 				fmt.Println("usage: delete <key>")
 				continue
 			}
 			report(sc.Delete(fields[1]), "ok")
-		case "scan":
+		case "scan", "lscan":
 			if len(fields) != 3 {
-				fmt.Println("usage: scan <lo> <hi>")
+				fmt.Println("usage:", fields[0], "<lo> <hi>")
 				continue
 			}
-			entries, err := sc.Scan(fields[1], fields[2])
+			var (
+				entries []store.Entry
+				err     error
+			)
+			if fields[0] == "scan" {
+				entries, err = sc.Scan(fields[1], fields[2])
+			} else {
+				entries, err = sc.ScanLocal(fields[1], fields[2])
+			}
 			if err != nil {
 				report(err, "")
 				continue
@@ -171,6 +199,17 @@ func parsePR(fields []string) (int, int, bool) {
 		return 0, 0, false
 	}
 	return p, r, true
+}
+
+func printRead(v []byte, ok bool, err error) {
+	switch {
+	case err != nil:
+		fmt.Println("error:", err)
+	case !ok:
+		fmt.Println("(not found)")
+	default:
+		fmt.Printf("%s\n", v)
+	}
 }
 
 func report(err error, okMsg string) {

@@ -172,6 +172,11 @@ type StoreOptions struct {
 	Kind store.SchemaKind
 	// SiteOf places each partition's processes (nil = everything local).
 	SiteOf func(partition int) netem.Site
+	// SiteOfReplica, when set, places each replica individually and takes
+	// precedence over SiteOf — e.g. spreading one partition's replicas
+	// across regions so its ring pays WAN latency while a co-located
+	// replica can still serve local reads.
+	SiteOfReplica func(partition, replica int) netem.Site
 	// Ring tunes the consensus rings.
 	Ring core.RingOptions
 	// Batch bounds the delivery batches executed by each replica.
@@ -193,6 +198,14 @@ type StoreOptions struct {
 	// (e.g. a recovery.FileStore so checkpoint durability costs are
 	// real); nil = in-memory.
 	NewCheckpointStore func(self transport.ProcessID) (recovery.Store, error)
+	// ExecWorkers sizes every replica's conflict-aware parallel apply
+	// pool (see smr.ReplicaConfig.ExecWorkers): 0/1 sequential, >= 2
+	// that many workers, negative GOMAXPROCS.
+	ExecWorkers int
+	// ExecWorkersOf, when set, overrides ExecWorkers per replica — a
+	// test hook for mixing sequential and parallel appliers in one
+	// cluster to check they stay byte-identical.
+	ExecWorkersOf func(partition, replica int) int
 }
 
 // StoreCluster is a running MRP-Store deployment.
@@ -304,7 +317,9 @@ func (d *Deployment) StartStore(opts StoreOptions) (*StoreCluster, error) {
 func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 	id := ReplicaID(p, r)
 	site := netem.SiteLocal
-	if c.opts.SiteOf != nil {
+	if c.opts.SiteOfReplica != nil {
+		site = c.opts.SiteOfReplica(p, r)
+	} else if c.opts.SiteOf != nil {
 		site = c.opts.SiteOf(p)
 	}
 	tr := c.D.Net.Attach(id, site)
@@ -344,6 +359,10 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 		Batch:           c.opts.Batch,
 		M:               c.opts.M,
 		GlobalLambda:    c.opts.GlobalLambda,
+		ExecWorkers:     c.opts.ExecWorkers,
+	}
+	if c.opts.ExecWorkersOf != nil {
+		cfg.ExecWorkers = c.opts.ExecWorkersOf(p, r)
 	}
 	if peerRecovery {
 		cfg.RecoveryTimeout = c.opts.RecoveryTimeout
@@ -514,6 +533,9 @@ type DLogOptions struct {
 	NewDataDisk func(self transport.ProcessID) storage.Log
 	// CacheLimit bounds each server's per-log entry cache in bytes.
 	CacheLimit int
+	// ExecWorkers sizes each server's conflict-aware parallel apply
+	// pool (see smr.ReplicaConfig.ExecWorkers).
+	ExecWorkers int
 }
 
 // DLogCluster is a running dLog deployment.
@@ -595,13 +617,14 @@ func (d *Deployment) StartDLog(opts DLogOptions) (*DLogCluster, error) {
 			return nil, err
 		}
 		rep, err := smr.NewReplica(smr.ReplicaConfig{
-			Self:      id,
-			Partition: transport.RingID(1), // all servers share one partition
-			Groups:    groups,
-			Node:      node,
-			Transport: tr,
-			Service:   router.Service(),
-			SM:        sm,
+			Self:        id,
+			Partition:   transport.RingID(1), // all servers share one partition
+			Groups:      groups,
+			Node:        node,
+			Transport:   tr,
+			Service:     router.Service(),
+			SM:          sm,
+			ExecWorkers: opts.ExecWorkers,
 		}, recovery.Checkpoint{})
 		if err != nil {
 			node.Stop()

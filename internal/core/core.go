@@ -208,6 +208,22 @@ type Node struct {
 	proposeSeq atomic.Uint32
 	delivered  atomic.Uint64
 
+	// progressNs is the monotonic-clock nanosecond reading of the last
+	// merge flush (vector/cursor publication). Skip values count: a
+	// batch flushed after consuming only rate-leveling fillers still
+	// proves the merge is live, which is exactly the signal
+	// bounded-staleness follower reads need.
+	progressNs atomic.Int64
+
+	// boundary, when set, is invoked by the merge goroutine after every
+	// batch-boundary flush — i.e. after the published vector's whole
+	// prefix has been handed to (and processed by) the delivery
+	// handler. Skip-only flushes fire it too, so a listener tracking
+	// "state applied through instance k" stays current even when the
+	// stream advances purely by rate-leveling fillers. Read-index local
+	// reads key off this signal.
+	boundary atomic.Pointer[func()]
+
 	// resub is the armed epoch transition (nil when none): the merge
 	// consumes it when it delivers the marker value. Written by
 	// PrepareResubscribe, read per consensus instance by the merge.
@@ -571,6 +587,7 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 	m := uint64(n.cfg.M)
 	maxMsgs := n.cfg.Batch.MaxMessages
 	maxBytes := n.cfg.Batch.MaxBytes
+	n.progressNs.Store(nowNanos()) // merge is live from this point
 	batch := make([]Delivery, 0, maxMsgs)
 	batchBytes := 0
 	high := make([]uint64, len(groups)) // delivered marks pending publication
@@ -604,7 +621,11 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 		publish()
 		n.cursor = cur.Clone()
 		n.mu.Unlock()
+		n.progressNs.Store(nowNanos())
 		emit()
+		if fn := n.boundary.Load(); fn != nil {
+			(*fn)()
+		}
 	}
 
 	for {
@@ -704,6 +725,9 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 				high = make([]uint64, len(groups))
 				n.resubStall.SetMax(int64(time.Since(start)))
 				emit()
+				if fn := n.boundary.Load(); fn != nil {
+					(*fn)()
+				}
 				break // restart the round-robin on the new group set
 			}
 			if len(batch) >= maxMsgs || batchBytes >= maxBytes {
@@ -1015,6 +1039,40 @@ func (n *Node) MergeCursor() Cursor {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.cursor.Clone()
+}
+
+// nowNanos reads the monotonic clock as nanoseconds (wall-clock jumps must
+// not fake or hide merge progress).
+func nowNanos() int64 { return int64(time.Since(progressEpoch)) }
+
+var progressEpoch = time.Now()
+
+// SinceProgress reports how long ago the deterministic merge last flushed
+// a batch boundary (published its vector and cursor). Skip-only flushes
+// count as progress — they prove the merge is consuming the streams — so
+// the value bounds how stale this learner's state can be relative to the
+// global delivered order. ok is false before the first subscription
+// flush, when no bound can be given.
+// SetBatchBoundary installs fn to be called by the merge goroutine after
+// every batch-boundary flush, once the flushed prefix has been fully
+// processed by the delivery handler (including skip-only flushes, which
+// advance the vector without invoking the handler). Install it before
+// Subscribe; fn must be fast and must not call back into the node's
+// delivery path.
+func (n *Node) SetBatchBoundary(fn func()) {
+	if fn == nil {
+		n.boundary.Store(nil)
+		return
+	}
+	n.boundary.Store(&fn)
+}
+
+func (n *Node) SinceProgress() (time.Duration, bool) {
+	at := n.progressNs.Load()
+	if at == 0 {
+		return 0, false
+	}
+	return time.Duration(nowNanos() - at), true
 }
 
 // LimitBatch caps the number of messages per delivery batch. Call before

@@ -1,0 +1,97 @@
+package dlog
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"amcast/internal/smr"
+	"amcast/internal/transport"
+)
+
+// TestParallelApplyEquivalence drives identical randomized op streams —
+// appends, reads of live and just-staged positions, multi-appends, and
+// trims (barriers) — through sequential batches and through an Applier.
+// Results are compared decoded (Result.Positions is a map, so its
+// encoding order is nondeterministic even between two sequential runs);
+// snapshots are compared byte for byte (serialized in log-id order).
+func TestParallelApplyEquivalence(t *testing.T) {
+	const logs = 4
+	rng := rand.New(rand.NewSource(0xd109))
+	hosted := make([]LogID, logs)
+	for i := range hosted {
+		hosted[i] = LogID(i + 1)
+	}
+	seqSM := NewSM(SMConfig{Hosted: hosted})
+	parSM := NewSM(SMConfig{Hosted: hosted})
+	applier := smr.NewApplier(parSM, 4)
+	defer applier.Close()
+
+	next := make(map[LogID]uint64) // shadow of assigned positions
+	randOp := func() Op {
+		l := LogID(1 + rng.Intn(logs))
+		switch roll := rng.Intn(100); {
+		case roll < 45:
+			op := Op{Kind: OpAppend, Log: l, Value: []byte(fmt.Sprintf("e%d", rng.Int63()))}
+			next[l]++
+			return op
+		case roll < 60:
+			ls := []LogID{}
+			for _, c := range hosted {
+				if rng.Intn(2) == 0 {
+					ls = append(ls, c)
+					next[c]++
+				}
+			}
+			if len(ls) == 0 {
+				ls = append(ls, l)
+				next[l]++
+			}
+			return Op{Kind: OpMultiAppend, Logs: ls, Value: []byte("multi")}
+		case roll < 95:
+			// Read a random position around the written range, so some
+			// hit staged appends from the same batch, some live entries,
+			// and some miss.
+			hi := next[l] + 2
+			return Op{Kind: OpRead, Log: l, Pos: rng.Uint64() % hi}
+		default:
+			hi := next[l] + 1
+			return Op{Kind: OpTrim, Log: l, Pos: rng.Uint64() % hi}
+		}
+	}
+
+	for b := 0; b < 50; b++ {
+		n := 1 + rng.Intn(48)
+		groups := make([]transport.RingID, n)
+		ops := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			groups[i] = transport.RingID(1 + rng.Intn(logs))
+			ops[i] = randOp().Encode()
+		}
+		seqOut := seqSM.ExecuteBatch(groups, ops)
+		parOut := make([][]byte, n)
+		applier.Apply(groups, ops, parOut)
+		for i := range ops {
+			sr, serr := DecodeResult(seqOut[i])
+			pr, perr := DecodeResult(parOut[i])
+			if serr != nil || perr != nil || !reflect.DeepEqual(sr, pr) {
+				op, _ := DecodeOp(ops[i])
+				t.Fatalf("batch %d op %d (%+v): sequential %+v (%v) != parallel %+v (%v)",
+					b, i, op, sr, serr, pr, perr)
+			}
+		}
+		if b%10 == 9 {
+			if !bytes.Equal(seqSM.Snapshot(), parSM.Snapshot()) {
+				t.Fatalf("log state diverged after batch %d", b)
+			}
+		}
+	}
+	if !bytes.Equal(seqSM.Snapshot(), parSM.Snapshot()) {
+		t.Fatal("final log states differ")
+	}
+	if applier.Barriers() == 0 {
+		t.Fatal("no trims executed as barriers; the stream did not exercise the barrier path")
+	}
+}

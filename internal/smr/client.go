@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"amcast/internal/core"
+	"amcast/internal/recovery"
 	"amcast/internal/ring"
 	"amcast/internal/transport"
 )
@@ -31,6 +32,15 @@ type Client struct {
 	// the opaque value) reach the right waiter.
 	byValue map[uint64]uint64
 	closed  bool
+	// observed is the client's session read index: per group, the
+	// highest applied instance any reply (command response or local
+	// read) has carried. A read-index local read presents it as the
+	// requirement the serving replica must cover, which yields
+	// read-your-writes and monotonic reads without a multicast round.
+	observed recovery.Vector
+	// lrWaiters routes KindLocalReadResp messages to in-flight LocalRead
+	// calls by sequence number.
+	lrWaiters map[uint64]chan transport.Message
 
 	seq atomic.Uint64
 
@@ -91,13 +101,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, errors.New("smr: Node and Service are required")
 	}
 	c := &Client{
-		id:       cfg.Self,
-		node:     cfg.Node,
-		tr:       cfg.Transport,
-		waiters:  make(map[uint64]*waiter),
-		byValue:  make(map[uint64]uint64),
-		done:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		id:        cfg.Self,
+		node:      cfg.Node,
+		tr:        cfg.Transport,
+		waiters:   make(map[uint64]*waiter),
+		byValue:   make(map[uint64]uint64),
+		observed:  make(recovery.Vector),
+		lrWaiters: make(map[uint64]chan transport.Message),
+		done:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
 	}
 	go c.respLoop(cfg.Service)
 	return c, nil
@@ -287,10 +299,27 @@ func (c *Client) respLoop(service <-chan transport.Message) {
 				c.mu.Unlock()
 				continue
 			}
+			if m.Kind == transport.KindLocalReadResp {
+				c.mu.Lock()
+				if m.Instance > c.observed[m.Ring] {
+					c.observed[m.Ring] = m.Instance
+				}
+				if ch, ok := c.lrWaiters[m.Seq]; ok {
+					select {
+					case ch <- m:
+					default:
+					}
+				}
+				c.mu.Unlock()
+				continue
+			}
 			if m.Kind != transport.KindResponse {
 				continue
 			}
 			c.mu.Lock()
+			if m.Instance > c.observed[m.Ring] {
+				c.observed[m.Ring] = m.Instance
+			}
 			w := c.waiters[m.Seq]
 			if w != nil {
 				key, ok := w.match(m.Ring, transport.RingID(m.Count))
@@ -308,6 +337,81 @@ func (c *Client) respLoop(service <-chan transport.Message) {
 			}
 			c.mu.Unlock()
 		}
+	}
+}
+
+// ObservedVector returns a copy of the client's session read index: per
+// group, the highest applied instance any reply has carried.
+func (c *Client) ObservedVector() recovery.Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.observed.Clone()
+}
+
+// LocalRead sends a read-only operation directly to one replica,
+// skipping the multicast round. With mode ReadIndex the request carries
+// the client's observed vector and the replica serves only once its
+// applied state covers it; with mode BoundedStale the replica serves
+// only if it proved merge progress within bound, else ErrStale. The
+// returned bytes are the state machine's encoded result.
+func (c *Client) LocalRead(target transport.ProcessID, group transport.RingID, op []byte, mode LocalReadMode, bound, timeout time.Duration) ([]byte, error) {
+	if c.tr == nil {
+		return nil, errors.New("smr: local read: client has no transport")
+	}
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	var req recovery.Vector
+	if mode == ReadIndex {
+		req = c.ObservedVector()
+	}
+	seq := c.seq.Add(1)
+	ch := make(chan transport.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.lrWaiters[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.lrWaiters, seq)
+		c.mu.Unlock()
+	}()
+
+	err := c.tr.Send(target, transport.Message{
+		Kind:    transport.KindLocalRead,
+		From:    c.id,
+		To:      target,
+		Ring:    group,
+		Seq:     seq,
+		Payload: encodeLocalRead(mode, req, bound, op),
+	})
+	if err != nil {
+		return nil, err
+	}
+	overall := time.NewTimer(timeout)
+	defer overall.Stop()
+	select {
+	case m := <-ch:
+		if len(m.Payload) < 1 {
+			return nil, fmt.Errorf("smr: local read: malformed response")
+		}
+		switch m.Payload[0] {
+		case LocalReadOK:
+			return append([]byte(nil), m.Payload[1:]...), nil
+		case LocalReadStale:
+			return nil, ErrStale
+		case LocalReadTimeout:
+			return nil, ErrTimeout
+		default:
+			return nil, ErrLocalReadUnsupported
+		}
+	case <-overall.C:
+		return nil, ErrTimeout
+	case <-c.done:
+		return nil, ErrClientClosed
 	}
 }
 

@@ -1,0 +1,150 @@
+package smr
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"amcast/internal/recovery"
+	"amcast/internal/transport"
+)
+
+// ReadLocal makes counterSM a LocalReader: the empty op is "read the
+// total"; anything else is not read-only.
+func (c *counterSM) ReadLocal(_ transport.RingID, op []byte) ([]byte, bool) {
+	if len(op) != 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], c.total)
+	return out[:], true
+}
+
+func TestLocalReadCodecRoundTrip(t *testing.T) {
+	req := recovery.Vector{1: 7, 9: 2}
+	mode, gotReq, bound, op, err := decodeLocalRead(encodeLocalRead(ReadIndex, req, 0, []byte("op")))
+	if err != nil || mode != ReadIndex || string(op) != "op" || bound != 0 {
+		t.Fatalf("read-index round trip = %v %v %v %q %v", mode, gotReq, bound, op, err)
+	}
+	if gotReq[1] != 7 || gotReq[9] != 2 {
+		t.Fatalf("requirement lost: %v", gotReq)
+	}
+	mode, _, bound, op, err = decodeLocalRead(encodeLocalRead(BoundedStale, nil, 250*time.Millisecond, []byte("x")))
+	if err != nil || mode != BoundedStale || bound != 250*time.Millisecond || string(op) != "x" {
+		t.Fatalf("bounded-stale round trip = %v %v %q %v", mode, bound, op, err)
+	}
+	if _, _, _, _, err := decodeLocalRead(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, _, _, _, err := decodeLocalRead([]byte{99}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestVectorCovers(t *testing.T) {
+	applied := recovery.Vector{1: 5, 2: 3}
+	for _, tc := range []struct {
+		req  recovery.Vector
+		want bool
+	}{
+		{recovery.Vector{}, true},
+		{recovery.Vector{1: 5}, true},
+		{recovery.Vector{1: 6}, false},
+		{recovery.Vector{1: 5, 2: 4}, false},
+		{recovery.Vector{7: 100}, true}, // untracked group: ignored
+	} {
+		if got := vectorCovers(applied, tc.req); got != tc.want {
+			t.Errorf("vectorCovers(%v, %v) = %v, want %v", applied, tc.req, got, tc.want)
+		}
+	}
+}
+
+// TestLocalReadBlocksUntilCovered parks a read whose requirement is one
+// instance ahead of everything applied; it must not complete until the
+// next write lands, and must then observe that write's effect.
+func TestLocalReadBlocksUntilCovered(t *testing.T) {
+	h := newSMRHarness(t, 0)
+	if got := h.submit(5); got != 5 {
+		t.Fatalf("submit = %d", got)
+	}
+
+	// Push the client's cursor one instance past anything delivered.
+	h.client.mu.Lock()
+	h.client.observed[1]++
+	h.client.mu.Unlock()
+
+	type res struct {
+		val []byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		v, err := h.client.LocalRead(2, 1, nil, ReadIndex, 0, 5*time.Second)
+		done <- res{v, err}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("cursor-ahead read returned early: %x %v", r.val, r.err)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// The next write covers the requirement and unblocks the read, which
+	// must see the write applied (never a stale pre-write state).
+	if got := h.submit(7); got != 12 {
+		t.Fatalf("second submit = %d", got)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("local read: %v", r.err)
+		}
+		if got := binary.LittleEndian.Uint64(r.val); got != 12 {
+			t.Fatalf("local read observed %d, want 12", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("local read still blocked after covering write")
+	}
+	if h.replicas[2].LocalReads() == 0 {
+		t.Error("serving replica counted no local reads")
+	}
+	if h.replicas[2].ReadWait().Count() == 0 {
+		t.Error("read-wait histogram recorded nothing")
+	}
+}
+
+// TestLocalReadBoundedStale: with no rate-leveling skips configured, an
+// idle replica's merge progress stalls, so a tight staleness bound must
+// fail with ErrStale while a generous one is served.
+func TestLocalReadBoundedStale(t *testing.T) {
+	h := newSMRHarness(t, 0)
+	h.submit(3)
+	time.Sleep(150 * time.Millisecond)
+
+	if _, err := h.client.LocalRead(1, 1, nil, BoundedStale, 10*time.Millisecond, 2*time.Second); !errors.Is(err, ErrStale) {
+		t.Fatalf("tight bound on idle replica: err = %v, want ErrStale", err)
+	}
+	v, err := h.client.LocalRead(1, 1, nil, BoundedStale, time.Hour, 2*time.Second)
+	if err != nil {
+		t.Fatalf("generous bound: %v", err)
+	}
+	if got := binary.LittleEndian.Uint64(v); got != 3 {
+		t.Fatalf("stale read = %d, want 3", got)
+	}
+}
+
+// TestLocalReadRejectsNonReadOnly: ops the state machine does not accept
+// as read-only come back as unsupported, not silently executed.
+func TestLocalReadRejectsNonReadOnly(t *testing.T) {
+	h := newSMRHarness(t, 0)
+	h.submit(1)
+	if _, err := h.client.LocalRead(1, 1, addOp(9), ReadIndex, 0, 2*time.Second); !errors.Is(err, ErrLocalReadUnsupported) {
+		t.Fatalf("mutating op via local read: err = %v, want ErrLocalReadUnsupported", err)
+	}
+	// The write must not have executed.
+	if got := h.submit(0); got != 1 {
+		t.Fatalf("total = %d after rejected local write, want 1", got)
+	}
+}

@@ -1,0 +1,310 @@
+package smr
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"amcast/internal/metrics"
+	"amcast/internal/transport"
+)
+
+// ConflictExecutor is the optional state-machine extension that enables
+// conflict-aware parallel batch apply. The replica partitions every
+// delivery batch into conflict-free runs (ops whose conflict-token sets
+// are disjoint), stages all runs of a segment concurrently against an
+// immutable snapshot of the state, and then commits the staged effects
+// sequentially in run order. Because runs are key-disjoint and each run
+// preserves delivery order internally, the merged per-op results, the
+// final state, and every checkpoint are byte-identical to sequential
+// execution — the whole point of deterministic parallel apply.
+type ConflictExecutor interface {
+	StateMachine
+
+	// ConflictKeys appends op's conflict tokens to dst and returns the
+	// extended slice. Two ops may execute in different runs only if
+	// their token sets are disjoint; token collisions between distinct
+	// keys are allowed (they merely merge runs, which is conservative
+	// and always safe). barrier=true marks an op that may touch
+	// arbitrary state (range scans, partition splits, log trims,
+	// undecodable input): the replica flushes all staged work and
+	// executes it alone, sequentially.
+	ConflictKeys(op []byte, dst []uint64) (tokens []uint64, barrier bool)
+
+	// StageRun executes one conflict-free run against an immutable
+	// snapshot of the current state plus a private write overlay
+	// (read-your-writes within the run), filling out[i] with each op's
+	// encoded result. It must not mutate shared state and must be safe
+	// to call concurrently with other StageRun calls — but never
+	// concurrently with CommitRun or any sequential Execute. The
+	// returned effects value is handed back to CommitRun.
+	StageRun(groups []transport.RingID, ops [][]byte, out [][]byte) (effects any)
+
+	// CommitRun applies the staged effects to the live state. Called
+	// sequentially, in run order, from the apply goroutine only.
+	CommitRun(effects any)
+}
+
+// applyRun is one conflict-free run: op indices into the enclosing batch
+// plus gathered argument/result slices.
+type applyRun struct {
+	idx     []int
+	groups  []transport.RingID
+	ops     [][]byte
+	out     [][]byte
+	effects any
+}
+
+func (r *applyRun) reset() {
+	r.idx = r.idx[:0]
+	r.groups = r.groups[:0]
+	r.ops = r.ops[:0]
+	r.out = r.out[:0]
+	r.effects = nil
+}
+
+func (r *applyRun) add(i int, group transport.RingID, op []byte) {
+	r.idx = append(r.idx, i)
+	r.groups = append(r.groups, group)
+	r.ops = append(r.ops, op)
+	r.out = append(r.out, nil)
+}
+
+// Applier schedules conflict-free runs of a delivery batch onto a bounded
+// worker pool. It is owned by the replica's apply goroutine: Apply must
+// not be called concurrently with itself. All scratch state (union-find,
+// token map, run slices) is pooled across batches so steady-state apply
+// does not grow the heap.
+type Applier struct {
+	sm      ConflictExecutor
+	workers int
+
+	tasks     chan func()
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+
+	// Per-segment union-find scratch. parent is indexed by op position
+	// relative to segBase; the root of every set is its minimum index,
+	// so runs inherit first-op delivery order for free.
+	segBase    int
+	parent     []int
+	tokenOwner map[uint64]int
+	tokBuf     []uint64
+
+	// Run assembly scratch.
+	runIdx  []int
+	runs    []*applyRun
+	runPool []*applyRun
+	waveWG  sync.WaitGroup
+
+	// Metrics: conflict-run size distribution. runSizes aggregates
+	// (count/mean/max); runSizeDist records each run size as an integer
+	// sample in a log-bucketed histogram, so Quantile reports run-size
+	// percentiles (the time.Duration values are plain counts here).
+	runSizes    metrics.BatchGauge
+	runSizeDist *metrics.Histogram
+	barriers    metrics.Counter
+	segments    metrics.Counter
+}
+
+// NewApplier builds an applier over sm with the given worker-pool size;
+// workers <= 0 selects GOMAXPROCS. The pool goroutines persist until
+// Close.
+func NewApplier(sm ConflictExecutor, workers int) *Applier {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := &Applier{
+		sm:          sm,
+		workers:     workers,
+		tasks:       make(chan func(), 4*workers),
+		tokenOwner:  make(map[uint64]int),
+		runSizeDist: metrics.NewHistogram(),
+	}
+	for i := 0; i < workers; i++ {
+		a.workerWG.Add(1)
+		go func() {
+			defer a.workerWG.Done()
+			for fn := range a.tasks {
+				fn()
+			}
+		}()
+	}
+	return a
+}
+
+// Workers reports the pool size.
+func (a *Applier) Workers() int { return a.workers }
+
+// RunSizes returns the aggregate conflict-run size gauge.
+func (a *Applier) RunSizes() *metrics.BatchGauge { return &a.runSizes }
+
+// RunSizeDist returns the run-size distribution histogram (samples are
+// run sizes, not durations).
+func (a *Applier) RunSizeDist() *metrics.Histogram { return a.runSizeDist }
+
+// Barriers reports how many ops were executed as sequential barriers.
+func (a *Applier) Barriers() uint64 { return a.barriers.Load() }
+
+// Close stops the worker pool. Apply must not be called afterwards.
+func (a *Applier) Close() {
+	a.closeOnce.Do(func() { close(a.tasks) })
+	a.workerWG.Wait()
+}
+
+// Apply executes the batch, filling out[i] with the encoded result of
+// ops[i]. Results, final state, and checkpoint bytes are identical to
+// executing the ops one by one in order. len(out) must equal len(ops).
+func (a *Applier) Apply(groups []transport.RingID, ops [][]byte, out [][]byte) {
+	n := len(ops)
+	segStart := 0
+	a.resetSegment(0)
+	for i := 0; i < n; i++ {
+		toks, barrier := a.sm.ConflictKeys(ops[i], a.tokBuf[:0])
+		if barrier {
+			// Flush everything staged so far, then run the barrier op
+			// alone with full (sequential) state access.
+			a.applySegment(groups, ops, out, segStart, i)
+			out[i] = a.sm.Execute(groups[i], ops[i])
+			a.barriers.Inc()
+			segStart = i + 1
+			a.resetSegment(segStart)
+			a.tokBuf = toks[:0]
+			continue
+		}
+		a.addOp(i, toks)
+		a.tokBuf = toks[:0]
+	}
+	a.applySegment(groups, ops, out, segStart, n)
+}
+
+// resetSegment clears union-find state for a new segment starting at base.
+func (a *Applier) resetSegment(base int) {
+	a.segBase = base
+	a.parent = a.parent[:0]
+	clear(a.tokenOwner)
+}
+
+// addOp registers op i (absolute batch index) in the current segment.
+func (a *Applier) addOp(i int, toks []uint64) {
+	rel := i - a.segBase
+	a.parent = append(a.parent, rel)
+	for _, t := range toks {
+		if owner, ok := a.tokenOwner[t]; ok {
+			a.union(owner, rel)
+		} else {
+			a.tokenOwner[t] = rel
+		}
+	}
+}
+
+func (a *Applier) find(x int) int {
+	for a.parent[x] != x {
+		a.parent[x] = a.parent[a.parent[x]]
+		x = a.parent[x]
+	}
+	return x
+}
+
+// union links two sets, keeping the smaller index as root so every set's
+// root is its first op in delivery order.
+func (a *Applier) union(x, y int) {
+	rx, ry := a.find(x), a.find(y)
+	switch {
+	case rx == ry:
+	case rx < ry:
+		a.parent[ry] = rx
+	default:
+		a.parent[rx] = ry
+	}
+}
+
+// newRun pops a pooled run or allocates one.
+func (a *Applier) newRun() *applyRun {
+	if len(a.runPool) > 0 {
+		r := a.runPool[len(a.runPool)-1]
+		a.runPool = a.runPool[:len(a.runPool)-1]
+		r.reset()
+		return r
+	}
+	return &applyRun{}
+}
+
+// applySegment stages the conflict-free runs of ops[start:end] in
+// parallel on the worker pool (the caller stages the first run itself),
+// waits for the stage wave, then commits effects sequentially in run
+// order and scatters results back into out.
+func (a *Applier) applySegment(groups []transport.RingID, ops [][]byte, out [][]byte, start, end int) {
+	m := end - start
+	if m == 0 {
+		return
+	}
+	a.segments.Inc()
+
+	// Assemble runs in first-op order: roots are minimum indices and j
+	// ascends, so a run is created exactly when j hits its root.
+	a.runIdx = a.runIdx[:0]
+	for j := 0; j < m; j++ {
+		a.runIdx = append(a.runIdx, -1)
+	}
+	a.runs = a.runs[:0]
+	for j := 0; j < m; j++ {
+		root := a.find(j)
+		ri := a.runIdx[root]
+		if ri < 0 {
+			ri = len(a.runs)
+			a.runIdx[root] = ri
+			a.runs = append(a.runs, a.newRun())
+		}
+		a.runs[ri].add(start+j, groups[start+j], ops[start+j])
+	}
+	for _, r := range a.runs {
+		a.runSizes.Observe(len(r.ops))
+		a.runSizeDist.Record(time.Duration(len(r.ops)))
+	}
+
+	if len(a.runs) == 1 || a.workers <= 1 {
+		// Single run (everything conflicts) or sequential pool: stage
+		// and commit on the calling goroutine. The overlay guarantees
+		// read-your-writes so this matches sequential execution.
+		for _, r := range a.runs {
+			a.sm.CommitRun(a.sm.StageRun(r.groups, r.ops, r.out))
+			a.scatter(r, out)
+		}
+	} else {
+		// Stage wave: workers stage runs[1:], the caller stages
+		// runs[0]. No commit overlaps any stage.
+		a.waveWG.Add(len(a.runs) - 1)
+		for _, r := range a.runs[1:] {
+			r := r
+			a.tasks <- func() {
+				r.effects = a.sm.StageRun(r.groups, r.ops, r.out)
+				a.waveWG.Done()
+			}
+		}
+		first := a.runs[0]
+		first.effects = a.sm.StageRun(first.groups, first.ops, first.out)
+		a.waveWG.Wait()
+
+		// Commit sequentially in run order. Runs are key-disjoint so
+		// the order cannot change the final state; committing in run
+		// order keeps it obviously deterministic anyway.
+		for _, r := range a.runs {
+			a.sm.CommitRun(r.effects)
+			a.scatter(r, out)
+		}
+	}
+
+	// Recycle runs.
+	for _, r := range a.runs {
+		r.effects = nil
+		a.runPool = append(a.runPool, r)
+	}
+	a.runs = a.runs[:0]
+}
+
+func (a *Applier) scatter(r *applyRun, out [][]byte) {
+	for k, j := range r.idx {
+		out[j] = r.out[k]
+	}
+}

@@ -1,0 +1,170 @@
+package smr
+
+import (
+	"sync"
+	"testing"
+
+	"amcast/internal/transport"
+)
+
+// keySM is a minimal ConflictExecutor for scheduling tests: an op is
+// [key, payload...]; key 0xFF is a barrier. Commits append ops to a log
+// so tests can check per-key ordering; staging itself allocates nothing.
+type keySM struct {
+	mu       sync.Mutex
+	log      [][]byte
+	executed int // barrier executions via Execute
+}
+
+func (k *keySM) Execute(_ transport.RingID, op []byte) []byte {
+	k.mu.Lock()
+	k.log = append(k.log, op)
+	k.executed++
+	k.mu.Unlock()
+	return op
+}
+
+func (k *keySM) Snapshot() []byte     { return nil }
+func (k *keySM) Restore([]byte) error { return nil }
+
+func (k *keySM) ConflictKeys(op []byte, dst []uint64) ([]uint64, bool) {
+	if len(op) == 0 || op[0] == 0xFF {
+		return dst, true
+	}
+	return append(dst, uint64(op[0])), false
+}
+
+func (k *keySM) StageRun(_ []transport.RingID, ops [][]byte, out [][]byte) any {
+	for i, op := range ops {
+		out[i] = op
+	}
+	return ops
+}
+
+func (k *keySM) CommitRun(effects any) {
+	ops := effects.([][]byte)
+	k.mu.Lock()
+	k.log = append(k.log, ops...)
+	k.mu.Unlock()
+}
+
+func batchOf(keys ...byte) ([]transport.RingID, [][]byte, [][]byte) {
+	groups := make([]transport.RingID, len(keys))
+	ops := make([][]byte, len(keys))
+	for i, k := range keys {
+		groups[i] = 1
+		ops[i] = []byte{k, byte(i)}
+	}
+	return groups, ops, make([][]byte, len(keys))
+}
+
+// TestApplierPreservesPerKeyOrder: ops sharing a key commit in delivery
+// order; barriers split segments and count as sequential executions.
+func TestApplierPreservesPerKeyOrder(t *testing.T) {
+	sm := &keySM{}
+	a := NewApplier(sm, 4)
+	defer a.Close()
+
+	groups, ops, out := batchOf(1, 2, 1, 3, 0xFF, 2, 1, 2)
+	a.Apply(groups, ops, out)
+
+	for i := range ops {
+		if string(out[i]) != string(ops[i]) {
+			t.Fatalf("op %d result %x, want echo %x", i, out[i], ops[i])
+		}
+	}
+	if got := a.Barriers(); got != 1 {
+		t.Fatalf("barriers = %d, want 1", got)
+	}
+	if sm.executed != 1 {
+		t.Fatalf("sequential executions = %d, want 1", sm.executed)
+	}
+	// Per-key delivery order must survive commit reordering.
+	pos := map[byte][]byte{}
+	for _, op := range sm.log {
+		pos[op[0]] = append(pos[op[0]], op[1])
+	}
+	for key, seq := range pos {
+		for i := 1; i < len(seq); i++ {
+			if seq[i] <= seq[i-1] {
+				t.Fatalf("key %d committed out of order: %v", key, seq)
+			}
+		}
+	}
+	// The barrier op must commit after everything before it and before
+	// everything after it.
+	var barrierAt, before, after int
+	for i, op := range sm.log {
+		switch {
+		case op[0] == 0xFF:
+			barrierAt = i
+		case op[1] < 4:
+			before++
+		}
+	}
+	for i := barrierAt + 1; i < len(sm.log); i++ {
+		after++
+	}
+	if before != 4 || after != 3 {
+		t.Fatalf("barrier split %d before / %d after, want 4/3 (log %v)", before, after, sm.log)
+	}
+}
+
+// TestApplierAllocsStayBounded guards the allocation-churn fix: with all
+// scratch (union-find, token map, run slices, outputs) pooled, steady-
+// state Apply must not allocate more than the per-run dispatch closures.
+func TestApplierAllocsStayBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts inflated under the race detector")
+	}
+	sm := &keySM{}
+	a := NewApplier(sm, 4)
+	defer a.Close()
+
+	const n = 64
+	groups := make([]transport.RingID, n)
+	ops := make([][]byte, n)
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		groups[i] = 1
+		ops[i] = []byte{byte(i % 16), byte(i)} // 16 conflict-free runs
+	}
+	// Warm the pools.
+	for i := 0; i < 4; i++ {
+		a.Apply(groups, ops, out)
+		sm.log = sm.log[:0]
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Apply(groups, ops, out)
+		sm.log = sm.log[:0]
+	})
+	// 16 runs → 15 dispatch closures plus slack; anything near one alloc
+	// per op means batch scratch regressed to per-batch allocation.
+	if perOp := allocs / n; perOp > 0.75 {
+		t.Fatalf("Apply allocates %.1f per batch (%.2f/op); scratch pooling regressed", allocs, perOp)
+	}
+}
+
+func BenchmarkApplierApply(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "sequentialPool", 4: "4workers"}[workers], func(b *testing.B) {
+			sm := &keySM{}
+			a := NewApplier(sm, workers)
+			defer a.Close()
+			const n = 256
+			groups := make([]transport.RingID, n)
+			ops := make([][]byte, n)
+			out := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				groups[i] = 1
+				ops[i] = []byte{byte(i % 32), byte(i)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Apply(groups, ops, out)
+				sm.log = sm.log[:0]
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"amcast/internal/core"
+	"amcast/internal/metrics"
 	"amcast/internal/recovery"
 	"amcast/internal/transport"
 )
@@ -115,6 +116,12 @@ type ReplicaConfig struct {
 	// transfers). It runs on the replica's service goroutine; it returns
 	// true when it consumed the message.
 	ServiceHook func(transport.Message) bool
+	// ExecWorkers sizes the conflict-aware parallel apply pool when the
+	// state machine implements ConflictExecutor: 0 or 1 applies
+	// sequentially (the default), >= 2 uses that many workers, and a
+	// negative value sizes the pool to GOMAXPROCS. Results, state and
+	// checkpoints are byte-identical either way.
+	ExecWorkers int
 }
 
 // Replica drives a replicated state machine: it subscribes to the
@@ -125,6 +132,23 @@ type Replica struct {
 	tr      transport.Transport
 	batchSM BatchExecutor    // non-nil when SM supports batch apply
 	snapSM  SnapshotCapturer // non-nil when SM supports cheap capture
+	applier *Applier         // non-nil when parallel apply is enabled
+
+	// applyGate serializes command application (write side, held across
+	// deliverBatch) against local reads (read side): a parallel batch
+	// commits its runs out of delivery order, so mid-batch states are
+	// not prefixes of the delivered order and must never be observed.
+	applyGate sync.RWMutex
+
+	// Read-index state: appliedVec is the delivered prefix whose
+	// commands have all been executed (advanced by the node's
+	// batch-boundary callback, including skip-only flushes); waiters
+	// park until it covers their requirement.
+	readMu      sync.Mutex
+	appliedVec  recovery.Vector
+	readWaiters []*readWaiter
+	readWait    *metrics.Histogram
+	localReads  atomic.Uint64
 
 	// mu guards safeVec/safeEpoch, the only state shared with the
 	// service loop (trim and recovery RPCs). Everything below it is owned
@@ -169,6 +193,7 @@ type Replica struct {
 	runResp   []int // respBuf index whose Payload the run result fills
 	runKeys   map[cmdKey]struct{}
 	respBuf   []transport.Message
+	outBuf    [][]byte // parallel-apply result staging, reused across runs
 
 	executedTotal atomic.Uint64
 	checkpoints   atomic.Uint64
@@ -566,9 +591,13 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 		ckptDone: make(chan struct{}),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
+		readWait: metrics.NewHistogram(),
 	}
 	r.batchSM, _ = cfg.SM.(BatchExecutor)
 	r.snapSM, _ = cfg.SM.(SnapshotCapturer)
+	if cx, ok := cfg.SM.(ConflictExecutor); ok && (cfg.ExecWorkers >= 2 || cfg.ExecWorkers < 0) {
+		r.applier = NewApplier(cx, cfg.ExecWorkers)
+	}
 	groups := cfg.Groups
 	if len(recovered.State) > 0 {
 		cur, dedup, snap, err := decodeStateParts(recovered.State)
@@ -612,9 +641,28 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 	if cfg.CheckpointEvery > 0 {
 		cfg.Node.LimitBatch(cfg.CheckpointEvery)
 	}
+	cfg.Node.SetBatchBoundary(r.noteBoundary)
 	if err := cfg.Node.SubscribeBatch(r.deliverBatch, groups...); err != nil {
 		return nil, fmt.Errorf("smr: subscribe: %w", err)
 	}
+	// Seed the applied vector with the subscription's start positions so
+	// read-index coverage checks know which groups this replica serves
+	// even before the first batch boundary (noteBoundary merges maxima,
+	// so a boundary that already fired is never regressed).
+	seed := cfg.Node.DeliveredVector()
+	r.readMu.Lock()
+	if r.appliedVec == nil {
+		r.appliedVec = seed
+	} else {
+		for g, k := range seed {
+			if k > r.appliedVec[g] {
+				r.appliedVec[g] = k
+			} else if _, ok := r.appliedVec[g]; !ok {
+				r.appliedVec[g] = k
+			}
+		}
+	}
+	r.readMu.Unlock()
 	go r.checkpointWriter()
 	go r.serviceLoop()
 	return r, nil
@@ -627,6 +675,10 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 // — touches only merge-owned state, lock-free. Client responses are
 // flushed together after execution.
 func (r *Replica) deliverBatch(ds []core.Delivery) {
+	// Local reads are shut out for the duration: parallel apply commits
+	// runs out of delivery order, so mid-batch states are not prefixes
+	// of the delivered order.
+	r.applyGate.Lock()
 	r.respBuf = r.respBuf[:0]
 	executed := 0
 
@@ -697,11 +749,20 @@ func (r *Replica) deliverBatch(ds []core.Delivery) {
 	if takeCkpt {
 		r.checkpoint(nil)
 	}
+	r.applyGate.Unlock()
 	// Flush the batch's client responses. Ring carries the delivery
 	// group, Count the partition tag, so clients can both match
 	// single-group commands and count distinct partitions on
-	// multi-partition ones.
+	// multi-partition ones. Instance carries the post-batch delivered
+	// high-water mark of the response's group: the client folds it into
+	// its observed vector, which is exactly the requirement a read-index
+	// local read later presents (read-your-writes).
+	var vec recovery.Vector
+	if len(r.respBuf) > 0 {
+		vec = r.cfg.Node.DeliveredVector()
+	}
 	for i := range r.respBuf {
+		r.respBuf[i].Instance = vec[r.respBuf[i].Ring]
 		_ = r.tr.Send(r.respBuf[i].To, r.respBuf[i])
 		r.respBuf[i] = transport.Message{} // release payload references
 	}
@@ -734,7 +795,20 @@ func (r *Replica) flushRun() int {
 	if nrun == 0 {
 		return 0
 	}
-	if r.batchSM != nil && nrun > 1 {
+	if r.applier != nil && nrun > 1 {
+		// Conflict-aware parallel apply: results come back positionally
+		// in r.outBuf (reused across batches), byte-identical to
+		// sequential execution.
+		for len(r.outBuf) < nrun {
+			r.outBuf = append(r.outBuf, nil)
+		}
+		out := r.outBuf[:nrun]
+		r.applier.Apply(r.runGroups, r.runOps, out)
+		for i := range out {
+			r.settleRun(i, out[i])
+			out[i] = nil // release result references
+		}
+	} else if r.batchSM != nil && nrun > 1 {
 		for i, out := range r.batchSM.ExecuteBatch(r.runGroups, r.runOps) {
 			r.settleRun(i, out)
 		}
@@ -939,7 +1013,12 @@ func (r *Replica) ForceCheckpoint() {
 		return
 	}
 	w := make(chan bool, 1)
+	// The apply gate's read side keeps the capture off a mid-batch
+	// state: delivery holds the write side across each batch, so the
+	// capture waits for a batch boundary (and dedup state is stable).
+	r.applyGate.RLock()
 	r.checkpoint(w)
+	r.applyGate.RUnlock()
 	select {
 	case <-w:
 	case <-r.done:
@@ -1005,6 +1084,11 @@ func (r *Replica) handleService(m transport.Message) {
 		// Stream the checkpoint in bounded chunks; a monolithic frame
 		// cannot carry states past the transport frame cap.
 		sendSnapshotChunks(r.tr, m.From, m.Seq, cp.Encode())
+	case transport.KindLocalRead:
+		// Local reads run on their own goroutine: a read-index wait can
+		// park until delivery covers the requirement, and the service
+		// loop must keep answering trim and recovery RPCs meanwhile.
+		go r.serveLocalRead(m)
 	case transport.KindReconfigPrepare:
 		// Reconfiguration handshake: arm the epoch transition before the
 		// controller multicasts the marker, and ack so the controller
@@ -1153,5 +1237,12 @@ func (r *Replica) Stop() {
 		close(r.done)
 		<-r.loopDone
 		<-r.ckptDone
+		if r.applier != nil {
+			r.applier.Close()
+		}
 	})
 }
+
+// Applier exposes the parallel-apply scheduler for instrumentation (nil
+// when the replica executes sequentially).
+func (r *Replica) Applier() *Applier { return r.applier }

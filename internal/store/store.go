@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amcast/internal/coord"
@@ -536,6 +537,10 @@ type ServerConfig struct {
 	GlobalLambda int
 	// RecoveryTimeout bounds peer recovery; zero skips peer recovery.
 	RecoveryTimeout time.Duration
+	// ExecWorkers sizes the conflict-aware parallel apply pool: 0 or 1
+	// applies sequentially, >= 2 uses that many workers, negative uses
+	// GOMAXPROCS (see smr.ReplicaConfig.ExecWorkers).
+	ExecWorkers int
 }
 
 // Server is one MRP-Store replica: it loads the schema, recovers, joins
@@ -600,6 +605,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		CheckpointEvery: cfg.CheckpointEvery,
 		SyncCheckpoints: cfg.SyncCheckpoints,
 		ServiceHook:     rangeTransferHook(sm, tr),
+		ExecWorkers:     cfg.ExecWorkers,
 	}, built.Checkpoint)
 	if err != nil {
 		built.Node.Stop()
@@ -681,6 +687,9 @@ type Client struct {
 	// committed splits without waiting to hit a WrongPartition.
 	watch   <-chan []byte
 	unwatch func()
+
+	// rr rotates local reads across a partition's replicas.
+	rr atomic.Uint32
 
 	mu     sync.RWMutex
 	schema Schema

@@ -100,6 +100,16 @@ const (
 	// retry-after in milliseconds, Count the queue depth. Clients back
 	// off (bounded, jittered) instead of retrying blindly.
 	KindOverloaded
+	// KindLocalRead is a client's direct read request to one replica
+	// (no multicast round). The payload carries the read mode, the
+	// client's read-index requirement (or staleness bound) and the
+	// inner service operation; Seq matches request to response.
+	KindLocalRead
+	// KindLocalReadResp is the replica's reply to a KindLocalRead:
+	// a status byte followed by the service result. Instance carries
+	// the replica's applied high-water mark for the addressed group so
+	// clients advance their observed read index on every reply.
+	KindLocalReadResp
 )
 
 var kindNames = map[Kind]string{
@@ -125,6 +135,8 @@ var kindNames = map[Kind]string{
 	KindRangeChunk:      "RangeChunk",
 	KindFlowFeedback:    "FlowFeedback",
 	KindOverloaded:      "Overloaded",
+	KindLocalRead:       "LocalRead",
+	KindLocalReadResp:   "LocalReadResp",
 }
 
 func (k Kind) String() string {
