@@ -16,11 +16,15 @@
 //	                        # slow-replica isolation (EC2 WAN)
 //	bench -exec             # execution: parallel apply scaling,
 //	                        # read-index vs multicast reads
+//	bench -chaos            # chaos campaigns: coordinator kills, rolling
+//	                        # kills during a live split, WAN partition
+//	                        # heal, disk-full acceptor
 //	bench -duration 5s -scale 0.5 -clients 100 -records 5000
 //
 // Each regression benchmark accepts -json FILE to snapshot its result
 // (BENCH_delivery.json, BENCH_io.json, BENCH_ckpt.json,
-// BENCH_reconfig.json, BENCH_flow.json, BENCH_exec.json in CI).
+// BENCH_reconfig.json, BENCH_flow.json, BENCH_exec.json,
+// BENCH_chaos.json in CI).
 //
 // Scale < 1 shrinks emulated device and WAN latencies proportionally so
 // runs finish quickly while preserving the ratios between configurations;
@@ -52,7 +56,8 @@ func run() error {
 	reconfigBench := flag.Bool("reconfig", false, "run the online-reconfiguration benchmark (live partition split under load)")
 	flowBench := flag.Bool("flow", false, "run the flow-control benchmark (static vs adaptive rate leveling, slow-replica isolation)")
 	execBench := flag.Bool("exec", false, "run the execution benchmark (conflict-aware parallel apply scaling, read-index vs multicast reads)")
-	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt, -reconfig, -flow or -exec benchmark result to this JSON file")
+	chaosBench := flag.Bool("chaos", false, "run the chaos campaigns (failure detection, failover and recovery under injected faults)")
+	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt, -reconfig, -flow, -exec or -chaos benchmark result to this JSON file")
 	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
@@ -67,21 +72,21 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench && !*flowBench && !*execBench {
+	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench && !*flowBench && !*execBench && !*chaosBench {
 		flag.Usage()
-		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt, -reconfig, -flow or -exec")
+		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt, -reconfig, -flow, -exec or -chaos")
 	}
 	selected := 0
-	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench, *flowBench, *execBench} {
+	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench, *flowBench, *execBench, *chaosBench} {
 		if b {
 			selected++
 		}
 	}
 	if selected > 1 && *benchJSON != "" {
-		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig, -flow, -exec")
+		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig, -flow, -exec, -chaos")
 	}
 	if selected == 0 && *benchJSON != "" {
-		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt, -reconfig, -flow and -exec benchmarks only")
+		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt, -reconfig, -flow, -exec and -chaos benchmarks only")
 	}
 	if !*delivery && *seedBaseline > 0 {
 		return fmt.Errorf("-seed-baseline applies to the -delivery benchmark only")
@@ -171,6 +176,20 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+	}
+
+	if *chaosBench {
+		res, err := bench.ChaosBench(o)
+		if *benchJSON != "" {
+			// Snapshot the reports even when a campaign failed its bar.
+			if werr := res.WriteJSON(*benchJSON); werr != nil {
+				return werr
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+		if err != nil {
+			return err
 		}
 	}
 

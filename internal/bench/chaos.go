@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"amcast/internal/chaos"
+)
+
+// ChaosResult aggregates the chaos campaigns (cmd/bench -chaos): each
+// row is one campaign's full report — detection and recovery latency
+// percentiles, the longest client-observed unavailability window, the
+// throughput dip under faults, and the acked-write ledger. The headline
+// acceptance bar is LostWrites == 0 on every row with Liveness and
+// Converged true.
+type ChaosResult struct {
+	DurationS float64        `json:"duration_s"`
+	Campaigns []chaos.Report `json:"campaigns"`
+	// Passed is true iff every campaign passed (no lost acked writes,
+	// liveness restored within bound, replicas converged, no errors).
+	Passed bool `json:"passed"`
+	// Rollups across campaigns (worst case, since each campaign is a
+	// different fault class).
+	WorstDetectP99Ms        float64 `json:"worst_detect_p99_ms"`
+	WorstRecoverP99Ms       float64 `json:"worst_recover_p99_ms"`
+	WorstUnavailabilityMs   float64 `json:"worst_unavailability_ms"`
+	WorstThroughputDip      float64 `json:"worst_throughput_dip"`
+	TotalAckedWrites        uint64  `json:"total_acked_writes"`
+	TotalLostWrites         int     `json:"total_lost_writes"`
+	TotalKills              int     `json:"total_kills"`
+	TotalRestartsReadmitted int     `json:"total_restarts_readmitted"`
+}
+
+// WriteJSON writes the result snapshot (for the CI trajectory).
+func (r ChaosResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ChaosBench runs the four chaos campaigns back to back under live
+// client load: repeated coordinator kills, rolling replica kills during
+// a live partition split, a WAN region cut and heal, and a disk-full
+// acceptor. Every campaign runs with the heartbeat failure detectors on
+// and no MarkDown oracle anywhere — detection, failover, and
+// re-admission are measured, not scripted.
+func ChaosBench(o Options) (ChaosResult, error) {
+	o = o.withDefaults()
+	o.header("Chaos", "failure detection, failover and recovery under injected faults")
+
+	// The WAN campaign compresses EC2 geo latencies like the cluster
+	// tests do (0.05 at the default -scale 0.25); -scale 5 would run it
+	// with realistic 2014-era RTTs.
+	const wanScale = 0.2
+	// The coordinator-failover campaign is the only one that scales with
+	// the requested duration: each kill/restart cycle is ~2.8 s.
+	cycles := int(o.Duration / (2800 * time.Millisecond))
+	if cycles < 1 {
+		cycles = 1
+	}
+	specs := []chaos.Spec{
+		chaos.CoordinatorFailover(cycles),
+		chaos.RollingKillsDuringSplit(),
+		chaos.WANPartitionHeal(o.Scale * wanScale),
+		chaos.DiskFullAcceptor(),
+	}
+
+	start := time.Now()
+	res := ChaosResult{Passed: true}
+	o.printf("%-28s %6s %6s %10s %10s %10s %8s %6s %6s\n",
+		"campaign", "kills", "acked", "detP99ms", "recP99ms", "unavailms", "dip", "lost", "pass")
+	for _, spec := range specs {
+		rep, err := chaos.Execute(spec)
+		if err != nil {
+			return res, fmt.Errorf("campaign %s: %w", spec.Name, err)
+		}
+		res.Campaigns = append(res.Campaigns, *rep)
+		res.Passed = res.Passed && rep.Passed()
+		res.WorstDetectP99Ms = max(res.WorstDetectP99Ms, rep.DetectP99Ms)
+		res.WorstRecoverP99Ms = max(res.WorstRecoverP99Ms, rep.RecoverP99Ms)
+		res.WorstUnavailabilityMs = max(res.WorstUnavailabilityMs, rep.MaxUnavailabilityMs)
+		res.WorstThroughputDip = max(res.WorstThroughputDip, rep.ThroughputDip)
+		res.TotalAckedWrites += rep.AckedWrites
+		res.TotalLostWrites += rep.LostWrites
+		res.TotalKills += rep.Kills
+		res.TotalRestartsReadmitted += rep.Restarts
+		o.printf("%-28s %6d %6d %10.1f %10.1f %10.1f %7.0f%% %6d %6v\n",
+			rep.Name, rep.Kills, rep.AckedWrites, rep.DetectP99Ms, rep.RecoverP99Ms,
+			rep.MaxUnavailabilityMs, rep.ThroughputDip*100, rep.LostWrites, rep.Passed())
+	}
+	res.DurationS = time.Since(start).Seconds()
+	o.printf("worst-case: detect p99 %.1f ms, recover p99 %.1f ms, unavailability %.1f ms; %d acked writes, %d lost (bar: 0)\n",
+		res.WorstDetectP99Ms, res.WorstRecoverP99Ms, res.WorstUnavailabilityMs,
+		res.TotalAckedWrites, res.TotalLostWrites)
+	if !res.Passed {
+		return res, fmt.Errorf("chaos campaigns failed (lost=%d)", res.TotalLostWrites)
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func runCampaign(t *testing.T, spec Spec) *Report {
+	t.Helper()
+	rep, err := Execute(spec)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if js, err := json.MarshalIndent(rep, "", "  "); err == nil {
+		t.Logf("report:\n%s", js)
+	}
+	if !rep.Passed() {
+		t.Fatalf("campaign failed: lost=%d liveness=%v converged=%v errors=%v",
+			rep.LostWrites, rep.Liveness, rep.Converged, rep.Errors)
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("workload acknowledged nothing — the campaign tested an idle cluster")
+	}
+	return rep
+}
+
+// TestChaosCoordinatorFailover is the acceptance campaign: the ring
+// coordinator is killed under load with NO MarkDown anywhere in the
+// test path. The failure detectors must detect, the ring must re-elect
+// and resume, and the quiet restart must be re-admitted — with zero
+// acked-write loss.
+func TestChaosCoordinatorFailover(t *testing.T) {
+	rep := runCampaign(t, CoordinatorFailover(1))
+	if rep.Kills != 1 || rep.Restarts != 1 {
+		t.Fatalf("kills=%d restarts=%d, want 1/1", rep.Kills, rep.Restarts)
+	}
+	// The detection histogram only fills if the detectors (not a test
+	// oracle) marked the victim down.
+	if rep.DetectP50Ms <= 0 {
+		t.Fatal("no detection latency recorded — was the coordinator ever auto-detected?")
+	}
+	if rep.RecoverP50Ms <= 0 {
+		t.Fatal("no recovery latency recorded — was the restart ever re-admitted?")
+	}
+}
+
+// TestChaosRollingKillsDuringSplit crosses reconfiguration with crash
+// faults: replicas of the splitting partition die and return while the
+// marker/transfer/boot pipeline runs.
+func TestChaosRollingKillsDuringSplit(t *testing.T) {
+	rep := runCampaign(t, RollingKillsDuringSplit())
+	if rep.Kills != 2 || rep.Restarts != 2 {
+		t.Fatalf("kills=%d restarts=%d, want 2/2", rep.Kills, rep.Restarts)
+	}
+}
+
+// TestChaosWANPartitionHeal cuts one region off a geo-replicated ring:
+// exactly that replica must be evicted (the isolated node's own
+// accusations against everyone else must never reach quorum) and
+// re-admitted after the heal.
+func TestChaosWANPartitionHeal(t *testing.T) {
+	rep := runCampaign(t, WANPartitionHeal(0))
+	if rep.DetectP50Ms <= 0 || rep.RecoverP50Ms <= 0 {
+		t.Fatalf("detect=%vms recover=%vms, want both measured", rep.DetectP50Ms, rep.RecoverP50Ms)
+	}
+}
+
+// TestChaosDiskFullAcceptor fills one acceptor's WAL device: the
+// commit-failure budget must step it out while the surviving quorum
+// keeps deciding, and clearing the fault must re-admit it.
+func TestChaosDiskFullAcceptor(t *testing.T) {
+	rep := runCampaign(t, DiskFullAcceptor())
+	if rep.DetectP50Ms <= 0 || rep.RecoverP50Ms <= 0 {
+		t.Fatalf("detect=%vms recover=%vms, want both measured", rep.DetectP50Ms, rep.RecoverP50Ms)
+	}
+}

@@ -112,6 +112,9 @@ func (d *Deployment) NewClient(site netem.Site) (*Client, error) {
 	}
 	cl, err := smr.NewClient(smr.ClientConfig{
 		Self: id, Node: node, Transport: tr, Service: router.Service(),
+		// Wire the coordination service so in-flight submissions re-route
+		// on coordinator failover instead of waiting out retry timers.
+		Coord: d.Svc,
 	})
 	if err != nil {
 		node.Stop()
@@ -206,6 +209,15 @@ type StoreOptions struct {
 	// test hook for mixing sequential and parallel appliers in one
 	// cluster to check they stay byte-identical.
 	ExecWorkersOf func(partition, replica int) int
+	// Detector, when set, runs a heartbeat failure detector on every
+	// store server: crashes are noticed and marked down by suspicion
+	// quorum (coord.Detector) with no oracle MarkDown calls.
+	Detector *coord.DetectorOptions
+	// RetainLogs keeps each (ring, process) acceptor log across
+	// Kill/Restart, so a restarted replica recovers from an intact WAL
+	// even with the default in-memory logs. Ignored when the NewLog
+	// factory already persists (e.g. FileWALFactory).
+	RetainLogs bool
 }
 
 // StoreCluster is a running MRP-Store deployment.
@@ -217,9 +229,17 @@ type StoreCluster struct {
 	mu      sync.Mutex
 	servers map[transport.ProcessID]*store.Server
 	ckpts   map[transport.ProcessID]recovery.Store
+	dets    map[transport.ProcessID]*coord.Detector
+	logs    map[logKey]storage.Log // retained WALs (RetainLogs)
 	// partRing maps partition index -> partition ring id for partitions
 	// added after boot (the initial layout uses ring id == index).
 	partRing map[int]transport.RingID
+}
+
+// logKey identifies one acceptor log in the retained-WAL registry.
+type logKey struct {
+	ring transport.RingID
+	id   transport.ProcessID
 }
 
 // ringOf returns partition p's ring id.
@@ -299,6 +319,8 @@ func (d *Deployment) StartStore(opts StoreOptions) (*StoreCluster, error) {
 		opts:     opts,
 		servers:  make(map[transport.ProcessID]*store.Server),
 		ckpts:    make(map[transport.ProcessID]recovery.Store),
+		dets:     make(map[transport.ProcessID]*coord.Detector),
+		logs:     make(map[logKey]storage.Log),
 		partRing: make(map[int]transport.RingID),
 	}
 	for p := 1; p <= opts.Partitions; p++ {
@@ -367,7 +389,28 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 	if peerRecovery {
 		cfg.RecoveryTimeout = c.opts.RecoveryTimeout
 	}
-	if c.opts.NewLog != nil {
+	if c.opts.RetainLogs {
+		cfg.NewLog = func(ring transport.RingID) (storage.Log, error) {
+			c.mu.Lock()
+			lg, ok := c.logs[logKey{ring, id}]
+			c.mu.Unlock()
+			if ok {
+				return lg, nil
+			}
+			if c.opts.NewLog != nil {
+				var err error
+				if lg, err = c.opts.NewLog(ring, id); err != nil {
+					return nil, err
+				}
+			} else {
+				lg = storage.NewMemLog()
+			}
+			c.mu.Lock()
+			c.logs[logKey{ring, id}] = lg
+			c.mu.Unlock()
+			return lg, nil
+		}
+	} else if c.opts.NewLog != nil {
 		cfg.NewLog = func(ring transport.RingID) (storage.Log, error) {
 			return c.opts.NewLog(ring, id)
 		}
@@ -376,10 +419,29 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 	if err != nil {
 		return fmt.Errorf("cluster: start store server %d: %w", id, err)
 	}
+	var det *coord.Detector
+	if c.opts.Detector != nil {
+		det = coord.NewDetector(id, c.D.Svc, tr, router.Heartbeats(), *c.opts.Detector)
+	}
 	c.mu.Lock()
 	c.servers[id] = srv
+	if det != nil {
+		c.dets[id] = det
+	}
 	c.mu.Unlock()
 	return nil
+}
+
+// stopDetector halts and discards the failure detector running for a
+// process, withdrawing its suspicion reports.
+func (c *StoreCluster) stopDetector(id transport.ProcessID) {
+	c.mu.Lock()
+	det := c.dets[id]
+	delete(c.dets, id)
+	c.mu.Unlock()
+	if det != nil {
+		det.Stop()
+	}
 }
 
 // Server returns the replica r of partition p.
@@ -408,6 +470,7 @@ func (c *StoreCluster) NewClient(site netem.Site) (*store.Client, *Client, error
 // (stable storage).
 func (c *StoreCluster) Crash(p, r int) {
 	id := ReplicaID(p, r)
+	c.stopDetector(id)
 	c.D.Net.Detach(id)
 	c.mu.Lock()
 	srv := c.servers[id]
@@ -419,12 +482,35 @@ func (c *StoreCluster) Crash(p, r int) {
 	c.D.Svc.MarkDown(id)
 }
 
+// Kill hard-crashes replica r of partition p with NO liveness mark: the
+// process simply vanishes from the network. Detecting the crash is the
+// failure detectors' job (StoreOptions.Detector) — there is no oracle.
+func (c *StoreCluster) Kill(p, r int) {
+	id := ReplicaID(p, r)
+	c.stopDetector(id)
+	c.D.Net.Detach(id)
+	c.mu.Lock()
+	srv := c.servers[id]
+	delete(c.servers, id)
+	c.mu.Unlock()
+	if srv != nil {
+		srv.Stop()
+	}
+}
+
 // Restart recovers replica r of partition p from its stable checkpoint
 // store, consulting peers when the cluster was configured with a
 // RecoveryTimeout.
 func (c *StoreCluster) Restart(p, r int) error {
 	id := ReplicaID(p, r)
 	c.D.Svc.MarkUp(id)
+	return c.startServer(p, r, c.opts.RecoveryTimeout > 0)
+}
+
+// RestartQuiet reboots a killed replica with NO liveness mark: the peer
+// detectors notice its resumed heartbeats and mark it up once the rejoin
+// hysteresis is satisfied. Pair with Kill for oracle-free crash/recovery.
+func (c *StoreCluster) RestartQuiet(p, r int) error {
 	return c.startServer(p, r, c.opts.RecoveryTimeout > 0)
 }
 
@@ -497,12 +583,17 @@ func (c *StoreCluster) DropCheckpoints(p, r int) {
 	c.ckpts[ReplicaID(p, r)] = recovery.NewMemStore()
 }
 
-// StopAll halts every server.
+// StopAll halts every server and failure detector.
 func (c *StoreCluster) StopAll() {
 	c.mu.Lock()
 	servers := c.servers
 	c.servers = make(map[transport.ProcessID]*store.Server)
+	dets := c.dets
+	c.dets = make(map[transport.ProcessID]*coord.Detector)
 	c.mu.Unlock()
+	for _, d := range dets {
+		d.Stop()
+	}
 	for _, s := range servers {
 		s.Stop()
 	}

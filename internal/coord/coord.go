@@ -176,6 +176,13 @@ type Service struct {
 	rings    map[transport.RingID]*ringState
 	meta     map[string][]byte
 	metaSubs map[string][]chan []byte
+
+	// Failure-detector suspicion state (see suspicion.go): per-target set
+	// of suspecting observers, and which down-marks the arbitration itself
+	// issued (only those may be auto-reverted on recovery — marks placed
+	// via MarkDown stay sticky until MarkUp).
+	suspicion map[transport.ProcessID]map[transport.ProcessID]bool
+	autoDown  map[transport.ProcessID]bool
 }
 
 type ringState struct {
@@ -186,9 +193,11 @@ type ringState struct {
 // NewService returns an empty coordination service.
 func NewService() *Service {
 	return &Service{
-		rings:    make(map[transport.RingID]*ringState),
-		meta:     make(map[string][]byte),
-		metaSubs: make(map[string][]chan []byte),
+		rings:     make(map[transport.RingID]*ringState),
+		meta:      make(map[string][]byte),
+		metaSubs:  make(map[string][]chan []byte),
+		suspicion: make(map[transport.ProcessID]map[transport.ProcessID]bool),
+		autoDown:  make(map[transport.ProcessID]bool),
 	}
 }
 
@@ -306,19 +315,31 @@ func notify[T any](ch chan T, v T) {
 }
 
 // MarkDown declares a process crashed. Every ring containing it re-elects
-// its coordinator if needed and notifies watchers.
+// its coordinator if needed and notifies watchers. A manual mark is sticky:
+// the failure detector never reverts it (only MarkUp does), so a node that
+// stepped out deliberately — e.g. over a wedged WAL — stays out even while
+// its process keeps heartbeating.
 func (s *Service) MarkDown(id transport.ProcessID) {
-	s.setLiveness(id, true)
-}
-
-// MarkUp declares a process recovered and re-joins it to its rings.
-func (s *Service) MarkUp(id transport.ProcessID) {
-	s.setLiveness(id, false)
-}
-
-func (s *Service) setLiveness(id transport.ProcessID, down bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.autoDown, id)
+	s.setLivenessLocked(id, true)
+	s.evalSuspicionAllLocked()
+}
+
+// MarkUp declares a process recovered and re-joins it to its rings. Stale
+// suspicion reports against it are discarded so observers that have not yet
+// seen fresh heartbeats cannot immediately re-mark it down.
+func (s *Service) MarkUp(id transport.ProcessID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.autoDown, id)
+	delete(s.suspicion, id)
+	s.setLivenessLocked(id, false)
+	s.evalSuspicionAllLocked()
+}
+
+func (s *Service) setLivenessLocked(id transport.ProcessID, down bool) {
 	for _, st := range s.rings {
 		member := false
 		for _, m := range st.cfg.Members {

@@ -127,6 +127,10 @@ type RingOptions struct {
 	// BatchBytes enables coordinator message packing up to this many
 	// payload bytes per consensus instance (paper: 32 KB).
 	BatchBytes int
+	// CommitFailureBudget bounds consecutive failed group commits before
+	// an acceptor steps out of the membership (see
+	// ring.Config.CommitFailureBudget). 0 = default, negative = never.
+	CommitFailureBudget int
 }
 
 // Config configures a Multi-Ring Paxos node.
@@ -306,24 +310,25 @@ func (n *Node) Join(ringID transport.RingID) error {
 		lambda = l
 	}
 	rn, err := ring.New(ring.Config{
-		Ring:          ringID,
-		Self:          n.id,
-		Router:        n.cfg.Router,
-		Coord:         n.coord,
-		Log:           log,
-		Window:        n.cfg.Ring.Window,
-		MaxPending:    n.cfg.Ring.MaxPending,
-		RetryInterval: n.cfg.Ring.RetryInterval,
-		DeliverBuffer: n.cfg.Ring.DeliverBuffer,
-		SkipEnabled:   n.cfg.Ring.SkipEnabled,
-		Delta:         n.cfg.Ring.Delta,
-		Lambda:        lambda,
-		AdaptiveSkip:  n.cfg.Ring.AdaptiveSkip,
-		LambdaMin:     n.cfg.Ring.LambdaMin,
-		LambdaMax:     n.cfg.Ring.LambdaMax,
-		TrimInterval:  n.cfg.Ring.TrimInterval,
-		BatchBytes:    n.cfg.Ring.BatchBytes,
-		StartInstance: n.cfg.StartVector[ringID] + 1,
+		Ring:                ringID,
+		Self:                n.id,
+		Router:              n.cfg.Router,
+		Coord:               n.coord,
+		Log:                 log,
+		Window:              n.cfg.Ring.Window,
+		MaxPending:          n.cfg.Ring.MaxPending,
+		RetryInterval:       n.cfg.Ring.RetryInterval,
+		DeliverBuffer:       n.cfg.Ring.DeliverBuffer,
+		SkipEnabled:         n.cfg.Ring.SkipEnabled,
+		Delta:               n.cfg.Ring.Delta,
+		Lambda:              lambda,
+		AdaptiveSkip:        n.cfg.Ring.AdaptiveSkip,
+		LambdaMin:           n.cfg.Ring.LambdaMin,
+		LambdaMax:           n.cfg.Ring.LambdaMax,
+		TrimInterval:        n.cfg.Ring.TrimInterval,
+		BatchBytes:          n.cfg.Ring.BatchBytes,
+		StartInstance:       n.cfg.StartVector[ringID] + 1,
+		CommitFailureBudget: n.cfg.Ring.CommitFailureBudget,
 	})
 	if err != nil {
 		return err
@@ -982,6 +987,19 @@ func (n *Node) RingStats(ringID transport.RingID) (decided, skipped uint64, ok b
 	}
 	decided, skipped = rn.Stats()
 	return decided, skipped, true
+}
+
+// RingWALHealth reports a joined ring's group-commit failure accounting
+// (see ring.Node.WALHealth); ok=false if not joined.
+func (n *Node) RingWALHealth(ringID transport.RingID) (failures uint64, steppedOut bool, lastErr string, ok bool) {
+	n.mu.Lock()
+	rn := n.rings[ringID]
+	n.mu.Unlock()
+	if rn == nil {
+		return 0, false, "", false
+	}
+	failures, steppedOut, lastErr = rn.WALHealth()
+	return failures, steppedOut, lastErr, true
 }
 
 // RingLambdaNow reports a joined ring's current rate-leveling target λ

@@ -1,0 +1,60 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultPlanCutsAndHeal(t *testing.T) {
+	p := NewFaultPlan(7)
+	if p.Active() {
+		t.Fatal("fresh plan should be inactive")
+	}
+	p.Partition([]uint32{1, 2}, []uint32{3})
+	if !p.Active() {
+		t.Fatal("partition should activate plan")
+	}
+	for _, pair := range [][2]uint32{{1, 3}, {3, 1}, {2, 3}, {3, 2}} {
+		if !p.Sample(pair[0], pair[1]).Drop {
+			t.Fatalf("link %v should be cut", pair)
+		}
+	}
+	if p.Sample(1, 2).Drop {
+		t.Fatal("intra-set link must stay up")
+	}
+	p.HealAll()
+	if p.Active() || p.Sample(1, 3).Drop {
+		t.Fatal("heal should restore all links")
+	}
+}
+
+func TestFaultPlanAsymmetric(t *testing.T) {
+	p := NewFaultPlan(7)
+	p.PartitionOneWay([]uint32{1}, []uint32{2})
+	if !p.Sample(1, 2).Drop {
+		t.Fatal("1->2 should be cut")
+	}
+	if p.Sample(2, 1).Drop {
+		t.Fatal("2->1 should be up (asymmetric)")
+	}
+}
+
+func TestFaultPlanSampling(t *testing.T) {
+	p := NewFaultPlan(7)
+	p.SetLink(1, 2, LinkFault{Drop: 0.5})
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if p.Sample(1, 2).Drop {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("drop rate %d/1000 far from 0.5", drops)
+	}
+	p.ClearLink(1, 2)
+	p.SetLink(1, 2, LinkFault{Dup: 1, Delay: 3 * time.Millisecond, Jitter: time.Millisecond})
+	oc := p.Sample(1, 2)
+	if !oc.Dup || oc.Extra < 3*time.Millisecond || oc.Extra > 4*time.Millisecond {
+		t.Fatalf("unexpected outcome %+v", oc)
+	}
+}

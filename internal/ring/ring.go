@@ -113,6 +113,15 @@ type Config struct {
 	// instance, skipping everything below. Replica recovery uses it to
 	// resume after an installed checkpoint (Section 5.2).
 	StartInstance uint64
+
+	// CommitFailureBudget bounds consecutive failed group commits before
+	// the acceptor steps out loudly: it marks itself down in the
+	// coordination service so the surviving quorum routes around it,
+	// instead of silently retrying a dead disk forever. The retained
+	// batch keeps retrying; if the log recovers the node marks itself up
+	// again. Zero means the default (32); negative disables stepping out
+	// (retry forever, the pre-budget behaviour).
+	CommitFailureBudget int
 }
 
 func (c *Config) withDefaults() Config {
@@ -142,6 +151,9 @@ func (c *Config) withDefaults() Config {
 		if out.LambdaMax == 0 {
 			out.LambdaMax = out.Lambda * 16
 		}
+	}
+	if out.CommitFailureBudget == 0 {
+		out.CommitFailureBudget = 32
 	}
 	return out
 }
@@ -263,6 +275,15 @@ type Node struct {
 	// withheld until the log accepts the batch, so neither messages nor
 	// deliveries ever outrun durability.
 	commitWedged bool
+	// commitFails counts consecutive failed group commits (run-loop
+	// owned); at CommitFailureBudget the node steps out (self MarkDown).
+	commitFails int
+	steppedOut  bool // run-loop owned mirror of steppedOutFlag
+
+	// WAL-health instrumentation (atomics; read by WALHealth).
+	commitFailCount atomic.Uint64
+	steppedOutFlag  atomic.Bool
+	lastCommitErr   atomic.Value // string
 
 	walGauge  metrics.BatchGauge
 	sendGauge metrics.BatchGauge
@@ -462,6 +483,17 @@ func (n *Node) ProposeValue(v transport.Value) error {
 // Stats reports instance counters (decided includes skipped).
 func (n *Node) Stats() (decided, skipped uint64) {
 	return n.decidedCount.Load(), n.skippedCount.Load()
+}
+
+// WALHealth reports group-commit failure accounting: total failed commits,
+// whether the node has stepped out of the membership over a persistent WAL
+// failure (see Config.CommitFailureBudget), and the most recent commit
+// error (empty when the log has never failed).
+func (n *Node) WALHealth() (failures uint64, steppedOut bool, lastErr string) {
+	if e, ok := n.lastCommitErr.Load().(string); ok {
+		lastErr = e
+	}
+	return n.commitFailCount.Load(), n.steppedOutFlag.Load(), lastErr
 }
 
 // Stop shuts down the node. Pending deliveries may be lost.

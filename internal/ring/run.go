@@ -127,15 +127,32 @@ func (n *Node) commitStaged() {
 			// queued for the next commit attempt rather than be silently
 			// forgotten while the node keeps acting on them. A log that
 			// fails persistently wedges this acceptor's output (sends
-			// dropped, deliveries withheld) and grows the retained
-			// batch and pending deliveries — the honest failure mode
-			// for a dead disk.
+			// dropped, deliveries withheld) — and once the failure
+			// budget is spent the node steps out loudly (self MarkDown)
+			// so the surviving quorum stops waiting on its votes. The
+			// batch keeps retrying: if the disk recovers, the node
+			// rejoins on its own.
 			n.commitWedged = true
+			n.commitFails++
+			n.commitFailCount.Add(1)
+			n.lastCommitErr.Store(err.Error())
+			if b := n.cfg.CommitFailureBudget; b > 0 && !n.steppedOut && n.commitFails >= b {
+				n.steppedOut = true
+				n.steppedOutFlag.Store(true)
+				n.cfg.Coord.MarkDown(n.id)
+			}
 			for i := range n.stagedSends {
 				n.stagedSends[i] = transport.Message{}
 			}
 			n.stagedSends = n.stagedSends[:0]
 			return
+		}
+		n.commitFails = 0
+		if n.steppedOut {
+			// The log accepted the retained batch again: rejoin.
+			n.steppedOut = false
+			n.steppedOutFlag.Store(false)
+			n.cfg.Coord.MarkUp(n.id)
 		}
 		n.walGauge.Observe(len(n.walBatch))
 		for i := range n.walBatch {

@@ -1,0 +1,98 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"amcast/internal/storage"
+)
+
+// TestWALFailureBudgetStepOut: an acceptor whose WAL fails persistently
+// must stop silently wedging the ring and step out (self MarkDown) once its
+// commit-failure budget is spent, letting the surviving quorum continue;
+// when the disk recovers it must rejoin on its own.
+func TestWALFailureBudgetStepOut(t *testing.T) {
+	sim := storage.NewSimDisk(storage.NewMemLog(), storage.SSDSpec(), false, 0.0001)
+	c := newCluster(t, 3, func(cfg *Config) {
+		cfg.RetryInterval = 20 * time.Millisecond
+		cfg.CommitFailureBudget = 5
+		if cfg.Self == 2 {
+			cfg.Log = sim
+		}
+	})
+
+	// Warm up: everything healthy.
+	if err := c.nodes[1].Propose([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, c.nodes[1], 1, 5*time.Second)
+	collect(t, c.nodes[3], 1, 5*time.Second)
+
+	// The device fills up. Keep proposing so commit attempts burn the
+	// budget; the surviving quorum {1,3} must keep deciding throughout.
+	sim.SetWriteError(storage.ErrDiskFull)
+	stopLoad := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			_ = c.nodes[1].Propose([]byte(fmt.Sprintf("v%d", i)))
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer close(stopLoad)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cfg, _ := c.svc.Ring(c.ring)
+		if cfg.Down[2] {
+			break
+		}
+		if time.Now().After(deadline) {
+			fails, stepped, lastErr := c.nodes[2].WALHealth()
+			t.Fatalf("node 2 never stepped out (failures=%d steppedOut=%v lastErr=%q)", fails, stepped, lastErr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fails, stepped, lastErr := c.nodes[2].WALHealth()
+	if !stepped || fails < 5 || lastErr == "" {
+		t.Fatalf("WALHealth after step-out: failures=%d steppedOut=%v lastErr=%q", fails, stepped, lastErr)
+	}
+
+	// Liveness on the surviving quorum: fresh proposals still decide.
+	if err := c.nodes[3].Propose([]byte("after-stepout")); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range collect(t, c.nodes[3], 50, 10*time.Second) {
+		if string(d.Value.Data) == "after-stepout" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("proposal after step-out was not delivered on surviving quorum")
+	}
+
+	// Disk recovers: the retained batch commits on a retry tick and the
+	// node rejoins without any oracle.
+	sim.SetWriteError(nil)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		cfg, _ := c.svc.Ring(c.ring)
+		if !cfg.Down[2] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node 2 never rejoined after the disk recovered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, stepped, _ := c.nodes[2].WALHealth(); stepped {
+		t.Fatal("steppedOut flag should clear after rejoin")
+	}
+}

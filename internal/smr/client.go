@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"amcast/internal/coord"
 	"amcast/internal/core"
 	"amcast/internal/recovery"
 	"amcast/internal/ring"
@@ -24,6 +25,7 @@ type Client struct {
 	id   transport.ProcessID
 	node *core.Node
 	tr   transport.Transport
+	svc  *coord.Service // optional: enables re-route on re-election
 
 	mu      sync.Mutex
 	waiters map[uint64]*waiter
@@ -93,6 +95,12 @@ type ClientConfig struct {
 	Transport transport.Transport
 	// Service is the process's non-consensus message channel.
 	Service <-chan transport.Message
+	// Coord, when set, lets in-flight submissions ride out coordinator
+	// failover: a proposal addressed to a dead coordinator is re-routed
+	// to the newly elected one as soon as the configuration changes
+	// (watch-driven, jittered), and ErrNoCoordinator windows are retried
+	// instead of surfaced to the caller.
+	Coord *coord.Service
 }
 
 // NewClient starts a client.
@@ -104,6 +112,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		id:        cfg.Self,
 		node:      cfg.Node,
 		tr:        cfg.Transport,
+		svc:       cfg.Coord,
 		waiters:   make(map[uint64]*waiter),
 		byValue:   make(map[uint64]uint64),
 		observed:  make(recovery.Vector),
@@ -200,14 +209,67 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 
 	cmd := Command{Client: c.id, Seq: seq, Op: op}
 	payload := cmd.Encode()
+	noCoord := 0
 	send := func() error {
 		for _, g := range groups {
 			if err := c.node.MulticastValue(g, valueID, payload); err != nil {
+				if errors.Is(err, ring.ErrNoCoordinator) && c.svc != nil {
+					// Failover window: the group has no coordinator
+					// right now. The config watcher below re-sends the
+					// moment one is elected; the retry timer is the
+					// backstop. Only the overall deadline gives up.
+					noCoord++
+					continue
+				}
 				return err
 			}
 		}
 		return nil
 	}
+
+	// Watch the target groups' configurations while the command is in
+	// flight: a coordinator change re-routes the proposal immediately
+	// (with jitter, so a fresh coordinator is not hit by every waiting
+	// client in the same instant) instead of waiting out a retry period.
+	var reelect chan struct{}
+	if c.svc != nil {
+		reelect = make(chan struct{}, 1)
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		for _, g := range groups {
+			ch, cancel := c.svc.Watch(g)
+			defer cancel()
+			go func(ch <-chan coord.RingConfig) {
+				var last transport.ProcessID
+				first := true
+				for {
+					select {
+					case cfg, ok := <-ch:
+						if !ok {
+							return
+						}
+						if first {
+							last, first = cfg.Coordinator, false
+							continue
+						}
+						if cfg.Coordinator == last {
+							continue
+						}
+						last = cfg.Coordinator
+						if cfg.Coordinator != 0 {
+							select {
+							case reelect <- struct{}{}:
+							default:
+							}
+						}
+					case <-stopWatch:
+						return
+					}
+				}
+			}(ch)
+		}
+	}
+
 	if err := send(); err != nil {
 		return nil, err
 	}
@@ -248,6 +310,17 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 				}
 			}
 			retry.Reset(d)
+		case <-reelect:
+			// New coordinator elected: re-route promptly. The jittered
+			// reset spreads the stampede of waiting clients; routing the
+			// send through the retry case keeps one resend path.
+			if !retry.Stop() {
+				select {
+				case <-retry.C:
+				default:
+				}
+			}
+			retry.Reset(time.Millisecond + rand.N(10*time.Millisecond))
 		case <-retry.C:
 			c.retransmits.Add(1)
 			if err := send(); err != nil {
@@ -257,6 +330,9 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 		case <-overall.C:
 			if overloaded > 0 {
 				return nil, fmt.Errorf("smr: command timed out after %d overload backoffs: %w", overloaded, ring.ErrOverloaded)
+			}
+			if noCoord > 0 {
+				return nil, fmt.Errorf("smr: command timed out with %d no-coordinator windows: %w", noCoord, ring.ErrNoCoordinator)
 			}
 			return nil, ErrTimeout
 		case <-c.done:

@@ -1164,6 +1164,10 @@ func (r *Replica) Subscription() []transport.RingID {
 	return r.cfg.Node.Subscription()
 }
 
+// CoreNode exposes the replica's consensus node (diagnostics: ring
+// stats, merge stalls, WAL health).
+func (r *Replica) CoreNode() *core.Node { return r.cfg.Node }
+
 // ResubscribeStallMax reports the longest an epoch transition blocked the
 // node's merge goroutine (instrumentation for cmd/bench -reconfig).
 func (r *Replica) ResubscribeStallMax() time.Duration {

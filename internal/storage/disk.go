@@ -1,8 +1,17 @@
 package storage
 
 import (
+	"errors"
 	"sync"
 	"time"
+)
+
+// Injected device failures (chaos testing). ErrDiskFull is returned once
+// cumulative written bytes exceed an injected capacity; ErrIOFault is the
+// default error for injected write/sync failures.
+var (
+	ErrDiskFull = errors.New("storage: simulated disk full")
+	ErrIOFault  = errors.New("storage: simulated I/O fault")
 )
 
 // Mode names the five storage configurations evaluated in Figure 3 of the
@@ -92,6 +101,14 @@ type SimDisk struct {
 
 	mu     sync.Mutex
 	busyAt time.Time // virtual device-free timestamp
+
+	// Fault injection (all guarded by mu). writeErr fails Put/PutBatch,
+	// syncErr fails Sync; capacity, when > 0, bounds cumulative written
+	// bytes after which writes fail with ErrDiskFull.
+	writeErr error
+	syncErr  error
+	capacity int64
+	written  int64
 }
 
 // NewSimDisk wraps inner with device timing. scale multiplies all simulated
@@ -121,6 +138,54 @@ func NewModeLog(mode Mode, scale float64) Log {
 }
 
 var _ Log = (*SimDisk)(nil)
+
+// SetWriteError injects err on every subsequent Put/PutBatch (pass nil to
+// clear). The write fails before reaching the wrapped log, modeling a dead
+// or erroring device.
+func (d *SimDisk) SetWriteError(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeErr = err
+}
+
+// SetSyncError injects err on every subsequent Sync (pass nil to clear),
+// modeling fsync failures.
+func (d *SimDisk) SetSyncError(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncErr = err
+}
+
+// SetCapacity bounds cumulative written bytes: once exceeded, writes fail
+// with ErrDiskFull until the capacity is raised or cleared (n <= 0). The
+// byte accounting matches the device model (record bytes + 16 overhead).
+func (d *SimDisk) SetCapacity(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.capacity = n
+}
+
+// Written returns cumulative bytes accepted by the device.
+func (d *SimDisk) Written() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.written
+}
+
+// admit charges size bytes against injected faults; on nil the write may
+// proceed.
+func (d *SimDisk) admit(size int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.writeErr != nil {
+		return d.writeErr
+	}
+	if d.capacity > 0 && d.written+int64(size) > d.capacity {
+		return ErrDiskFull
+	}
+	d.written += int64(size)
+	return nil
+}
 
 // occupy reserves device time for size bytes and returns how long the
 // caller must wait (commit wait for sync mode, back-pressure for async).
@@ -155,6 +220,9 @@ func (d *SimDisk) occupy(size int, barrier bool) time.Duration {
 
 // Put stores the record, blocking per the device model.
 func (d *SimDisk) Put(instance uint64, record []byte) error {
+	if err := d.admit(len(record) + 16); err != nil {
+		return err
+	}
 	if err := d.inner.Put(instance, record); err != nil {
 		return err
 	}
@@ -174,12 +242,15 @@ func (d *SimDisk) PutBatch(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	if err := d.inner.PutBatch(recs); err != nil {
-		return err
-	}
 	size := 0
 	for _, r := range recs {
 		size += len(r.Data) + 16
+	}
+	if err := d.admit(size); err != nil {
+		return err
+	}
+	if err := d.inner.PutBatch(recs); err != nil {
+		return err
 	}
 	if wait := d.occupy(size, d.sync); wait > 0 {
 		time.Sleep(wait)
@@ -201,7 +272,11 @@ func (d *SimDisk) FirstRetained() uint64 { return d.inner.FirstRetained() }
 func (d *SimDisk) Sync() error {
 	d.mu.Lock()
 	busy := d.busyAt
+	serr := d.syncErr
 	d.mu.Unlock()
+	if serr != nil {
+		return serr
+	}
 	if wait := time.Until(busy); wait > 0 {
 		time.Sleep(wait)
 	}

@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSimDiskWriteErrorInjection(t *testing.T) {
+	d := NewSimDisk(NewMemLog(), SSDSpec(), true, 0.01)
+	if err := d.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	d.SetWriteError(ErrIOFault)
+	if err := d.Put(2, []byte("b")); !errors.Is(err, ErrIOFault) {
+		t.Fatalf("want ErrIOFault, got %v", err)
+	}
+	if err := d.PutBatch([]Record{{Instance: 3, Data: []byte("c")}}); !errors.Is(err, ErrIOFault) {
+		t.Fatalf("want ErrIOFault on batch, got %v", err)
+	}
+	// Failed writes must not reach the wrapped log.
+	if _, ok := d.Get(2); ok {
+		t.Fatal("failed Put leaked into inner log")
+	}
+	d.SetWriteError(nil)
+	if err := d.Put(2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimDiskFull(t *testing.T) {
+	d := NewSimDisk(NewMemLog(), SSDSpec(), true, 0.01)
+	d.SetCapacity(64)
+	if err := d.Put(1, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(2, make([]byte, 32)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("want ErrDiskFull, got %v", err)
+	}
+	// Raising capacity unclogs the device.
+	d.SetCapacity(1 << 20)
+	if err := d.Put(2, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Written() <= 64 {
+		t.Fatalf("written accounting stuck at %d", d.Written())
+	}
+}
+
+func TestSimDiskSyncErrorInjection(t *testing.T) {
+	d := NewSimDisk(NewMemLog(), SSDSpec(), false, 0.01)
+	d.SetSyncError(ErrIOFault)
+	if err := d.Sync(); !errors.Is(err, ErrIOFault) {
+		t.Fatalf("want ErrIOFault, got %v", err)
+	}
+	d.SetSyncError(nil)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

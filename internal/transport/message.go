@@ -110,6 +110,10 @@ const (
 	// the replica's applied high-water mark for the addressed group so
 	// clients advance their observed read index on every reply.
 	KindLocalReadResp
+	// KindHeartbeat is a failure-detector liveness beacon. It carries no
+	// payload beyond the envelope: the arrival time at the receiver is
+	// the signal (φ-accrual inter-arrival estimation in coord.Detector).
+	KindHeartbeat
 )
 
 var kindNames = map[Kind]string{
@@ -137,6 +141,7 @@ var kindNames = map[Kind]string{
 	KindOverloaded:      "Overloaded",
 	KindLocalRead:       "LocalRead",
 	KindLocalReadResp:   "LocalReadResp",
+	KindHeartbeat:       "Heartbeat",
 }
 
 func (k Kind) String() string {

@@ -15,7 +15,8 @@ import (
 // Crashing a process (Detach) silently drops messages addressed to it, and
 // a link can be blocked to emulate network partitions.
 type Network struct {
-	topo *netem.Topology
+	topo   *netem.Topology
+	faults *netem.FaultPlan
 
 	mu      sync.Mutex
 	eps     map[ProcessID]*netEndpoint
@@ -52,6 +53,7 @@ func NewNetwork(topo *netem.Topology) *Network {
 	}
 	return &Network{
 		topo:    topo,
+		faults:  netem.NewFaultPlan(1),
 		eps:     make(map[ProcessID]*netEndpoint),
 		sites:   make(map[ProcessID]netem.Site),
 		links:   make(map[[2]ProcessID]*linkState),
@@ -61,6 +63,11 @@ func NewNetwork(topo *netem.Topology) *Network {
 
 // Topology returns the topology shaping this network.
 func (n *Network) Topology() *netem.Topology { return n.topo }
+
+// Faults returns the mutable fault plan consulted on every send. With no
+// faults installed the send path is unchanged; installing one switches the
+// affected links to per-message sampling (drop/duplicate/extra delay, cuts).
+func (n *Network) Faults() *netem.FaultPlan { return n.faults }
 
 // Attach registers a process at a site and returns its transport. Attaching
 // an existing id replaces the previous endpoint (the old one is closed),
@@ -177,14 +184,25 @@ func (n *Network) sendRun(from ProcessID, run []Message) error {
 	link := n.topo.Link(fromSite, toSite)
 	scale := n.topo.Scale()
 
+	// Injected faults force the queue path (per-message sampling defeats
+	// the ready-prefix batching); untouched links keep the fast path.
+	faulty := n.faults.Active()
+
 	now := time.Now()
 	ready := 0 // prefix of run deliverable immediately
 	pushed := false
 	ls.mu.Lock()
 	busy := ls.draining || len(ls.queue) > 0
 	for _, m := range run {
+		var oc netem.FaultOutcome
+		if faulty {
+			oc = n.faults.Sample(uint32(from), uint32(to))
+			if oc.Drop {
+				continue
+			}
+		}
 		tx := time.Duration(float64(link.Transmission(m.EncodedSize())) * scale)
-		prop := n.topo.Delay(fromSite, toSite, 0)
+		prop := n.topo.Delay(fromSite, toSite, 0) + oc.Extra
 		start := now
 		if ls.nextFree.After(start) {
 			start = ls.nextFree
@@ -195,7 +213,7 @@ func (n *Network) sendRun(from ProcessID, run []Message) error {
 			deliverAt = ls.lastDeliver // keep FIFO despite jitter
 		}
 		ls.lastDeliver = deliverAt
-		if !busy && deliverAt.Sub(now) <= 0 {
+		if !faulty && !busy && deliverAt.Sub(now) <= 0 {
 			ready++
 			continue
 		}
@@ -208,6 +226,9 @@ func (n *Network) sendRun(from ProcessID, run []Message) error {
 		}
 		busy = true
 		ls.queue = append(ls.queue, scheduledMsg{deliverAt: deliverAt, msg: m, dst: dst})
+		if oc.Dup {
+			ls.queue = append(ls.queue, scheduledMsg{deliverAt: deliverAt, msg: m, dst: dst})
+		}
 		if !ls.draining {
 			ls.draining = true
 			n.timers.Add(1)

@@ -11,10 +11,12 @@ import (
 type Router struct {
 	tr Transport
 
-	mu    sync.Mutex
-	rings map[RingID]*mailbox
-	other *mailbox
-	done  chan struct{}
+	mu     sync.Mutex
+	rings  map[RingID]*mailbox
+	other  *mailbox
+	hb     *mailbox // lazily created by Heartbeats; nil => heartbeats dropped
+	closed bool
+	done   chan struct{}
 }
 
 // ringKinds are handled by ring.Node instances.
@@ -47,6 +49,18 @@ func (r *Router) Transport() Transport { return r.tr }
 func (r *Router) loop() {
 	defer close(r.done)
 	for m := range r.tr.Recv() {
+		if m.Kind == KindHeartbeat {
+			// Heartbeats are only buffered once a consumer asked for
+			// them; otherwise they are dropped on the floor so an
+			// unconsumed mailbox cannot grow without bound.
+			r.mu.Lock()
+			hb := r.hb
+			r.mu.Unlock()
+			if hb != nil {
+				hb.push(m)
+			}
+			continue
+		}
 		if isRingKind(m.Kind) {
 			r.ringMailbox(m.Ring).push(m)
 		} else {
@@ -55,11 +69,15 @@ func (r *Router) loop() {
 	}
 	// Transport closed: close all mailboxes.
 	r.mu.Lock()
-	boxes := make([]*mailbox, 0, len(r.rings)+1)
+	r.closed = true
+	boxes := make([]*mailbox, 0, len(r.rings)+2)
 	for _, mb := range r.rings {
 		boxes = append(boxes, mb)
 	}
 	boxes = append(boxes, r.other)
+	if r.hb != nil {
+		boxes = append(boxes, r.hb)
+	}
 	r.mu.Unlock()
 	for _, mb := range boxes {
 		mb.close()
@@ -87,6 +105,23 @@ func (r *Router) Ring(ring RingID) <-chan Message {
 // responses, recovery RPCs). The channel closes when the transport closes.
 func (r *Router) Service() <-chan Message {
 	return r.other.out
+}
+
+// Heartbeats returns the channel of failure-detector heartbeats. Until the
+// first call, incoming heartbeats are dropped (no consumer, no buffering).
+// The channel closes when the transport closes.
+func (r *Router) Heartbeats() <-chan Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hb == nil {
+		r.hb = newMailbox()
+		if r.closed {
+			// Router already shut down: close the fresh mailbox so the
+			// caller observes a closed channel rather than a stuck one.
+			r.hb.close()
+		}
+	}
+	return r.hb.out
 }
 
 // Done is closed after the router has shut down.
