@@ -186,6 +186,10 @@ func (l *bookLeader) loop(service <-chan transport.Message) {
 				l.acks[m.Seq]++
 				l.mu.Unlock()
 				l.maybeCommit(m.Seq)
+			default:
+				// The bookkeeper baseline speaks only append/ack; other
+				// kinds addressed to this process are stray traffic from
+				// the shared transport and are dropped.
 			}
 		}
 	}

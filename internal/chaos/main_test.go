@@ -1,0 +1,11 @@
+package chaos
+
+import (
+	"testing"
+
+	"amcast/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine-leak verification: a Stop or
+// Close path that strands a goroutine fails the whole test binary.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -582,6 +582,8 @@ func (s *ringSource) recycle() {
 // published cursor already carries the new group set and incremented
 // epoch, so a checkpoint taken inside that handler records the
 // transition exactly at the marker.
+//
+//lint:deterministic
 func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler BatchHandler, cur Cursor) {
 	defer close(n.mergeDone)
 	defer func() {
@@ -651,7 +653,7 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 				// time the wait — it is the straggler signal behind the
 				// per-ring stall telemetry and the adaptive-λ feedback.
 				flush()
-				waitStart := time.Now()
+				waitStart := time.Now() //lint:allow determinism stall telemetry only: the wait duration feeds metrics and the adaptive-λ signal, never delivered state
 				if !srcs[i].refill(n.done) {
 					// Ring stream ended. At Stop that is normal; while
 					// the node is still running it means the ring
@@ -662,7 +664,7 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 					n.noteMergeHalt(groups[i])
 					return
 				}
-				n.observeMergeStall(srcs[i], groups[i], time.Since(waitStart))
+				n.observeMergeStall(srcs[i], groups[i], time.Since(waitStart)) //lint:allow determinism stall telemetry only: the wait duration feeds metrics and the adaptive-λ signal, never delivered state
 			}
 			d := srcs[i].next()
 			span := d.Value.Span()
@@ -725,10 +727,10 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 				// Time only the switch itself: emit() runs the handler's
 				// ordinary batch execution, which happens for every
 				// batch and would drown the transition cost.
-				start := time.Now()
+				start := time.Now() //lint:allow determinism resubscribe-stall telemetry only: the duration feeds a local gauge, never delivered state
 				groups, srcs = n.switchSubscription(pending, groups, srcs, &cur, publish)
 				high = make([]uint64, len(groups))
-				n.resubStall.SetMax(int64(time.Since(start)))
+				n.resubStall.SetMax(int64(time.Since(start))) //lint:allow determinism resubscribe-stall telemetry only: the duration feeds a local gauge, never delivered state
 				emit()
 				if fn := n.boundary.Load(); fn != nil {
 					(*fn)()
@@ -807,6 +809,7 @@ func (n *Node) switchSubscription(pending *resubRequest, groups []transport.Ring
 		}
 		n.mu.Unlock()
 	}
+	//lint:allow determinism drainer launch order is irrelevant: each dropped source gets its own goroutine and no state depends on the order
 	for _, s := range bySrc {
 		go n.drainRemoved(s)
 	}
@@ -868,6 +871,8 @@ func (n *Node) MergeHalted() (transport.RingID, bool) {
 // telemetry and, when adaptive rate leveling is on, reports the
 // accumulated stall to the ring's coordinator at most once per feedback
 // interval. Runs on the merge goroutine.
+//
+//lint:allow determinism stall telemetry and feedback pacing only: nothing here feeds delivered state or serialized bytes
 func (n *Node) observeMergeStall(s *ringSource, g transport.RingID, d time.Duration) {
 	if d <= 0 {
 		return
@@ -1061,6 +1066,8 @@ func (n *Node) MergeCursor() Cursor {
 
 // nowNanos reads the monotonic clock as nanoseconds (wall-clock jumps must
 // not fake or hide merge progress).
+//
+//lint:allow determinism liveness telemetry only: the monotonic reading feeds SinceProgress staleness bounds, never delivered state
 func nowNanos() int64 { return int64(time.Since(progressEpoch)) }
 
 var progressEpoch = time.Now()

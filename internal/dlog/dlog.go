@@ -119,17 +119,24 @@ type Result struct {
 	Value     []byte
 }
 
-// Encode serializes the result.
+// Encode serializes the result. Positions are emitted in ascending LogID
+// order: these bytes are a replica-produced response, so they must be
+// identical on every replica — map iteration order is not.
 func (r Result) Encode() []byte {
 	buf := make([]byte, 0, 1+2+12*len(r.Positions)+4+len(r.Value))
 	buf = append(buf, byte(r.Status))
 	var tmp [8]byte
 	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(r.Positions)))
 	buf = append(buf, tmp[:2]...)
-	for l, p := range r.Positions {
+	ids := make([]LogID, 0, len(r.Positions))
+	for l := range r.Positions {
+		ids = append(ids, l)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, l := range ids {
 		binary.LittleEndian.PutUint32(tmp[:4], uint32(l))
 		buf = append(buf, tmp[:4]...)
-		binary.LittleEndian.PutUint64(tmp[:8], p)
+		binary.LittleEndian.PutUint64(tmp[:8], r.Positions[l])
 		buf = append(buf, tmp[:8]...)
 	}
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Value)))
@@ -245,6 +252,7 @@ func diskKey(l LogID, pos uint64) uint64 {
 func (s *SM) diskTrimWatermark() (uint64, bool) {
 	w := uint64(0)
 	first := true
+	//lint:allow determinism commutative min with an absorbing zero: the result is the same whatever order the hosted logs are visited in
 	for l, ls := range s.hosted {
 		k := diskKey(l, ls.base)
 		if k == 0 {
@@ -258,6 +266,8 @@ func (s *SM) diskTrimWatermark() (uint64, bool) {
 }
 
 // Execute applies one encoded operation.
+//
+//lint:deterministic
 func (s *SM) Execute(_ transport.RingID, raw []byte) []byte {
 	op, err := DecodeOp(raw)
 	if err != nil {
@@ -270,6 +280,8 @@ func (s *SM) Execute(_ transport.RingID, raw []byte) []byte {
 
 // ExecuteBatch applies a run of encoded operations under one lock
 // acquisition (batch-at-a-time delivery's entry point).
+//
+//lint:deterministic
 func (s *SM) ExecuteBatch(_ []transport.RingID, ops [][]byte) [][]byte {
 	out := make([][]byte, len(ops))
 	s.mu.Lock()

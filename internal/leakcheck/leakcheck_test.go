@@ -1,0 +1,40 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsStrandedGoroutine proves the checker sees a blocked
+// goroutine; the goroutine is released before the test exits so the
+// package's own process stays clean.
+func TestDetectsStrandedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-block
+	}()
+	<-parked
+
+	leaked := Check(50 * time.Millisecond)
+	if leaked == "" {
+		t.Fatal("Check missed a deliberately stranded goroutine")
+	}
+	if !strings.Contains(leaked, "leakcheck_test") {
+		t.Fatalf("leak report does not name the leaking frame:\n%s", leaked)
+	}
+	close(block)
+	if leaked := Check(5 * time.Second); leaked != "" {
+		t.Fatalf("goroutine still reported after release:\n%s", leaked)
+	}
+}
+
+// TestCleanWhenNothingLeaks pins the no-false-positive side: a test
+// binary with only harness goroutines reports clean immediately.
+func TestCleanWhenNothingLeaks(t *testing.T) {
+	if leaked := Check(time.Second); leaked != "" {
+		t.Fatalf("false positive:\n%s", leaked)
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The annotation surface, scanned from comments:
+//
+//	//lint:deterministic            (function doc) determinism root: the
+//	                                function and everything it calls must
+//	                                be replay-deterministic
+//	//lint:eventloop                (function doc) loopblock root: the
+//	                                function runs on the ring event loop
+//	//lint:release                  (function doc) the one sanctioned
+//	                                place staged sends are transmitted,
+//	                                after the WAL write succeeds
+//	//lint:allow <analyzer> <reason> suppress <analyzer> diagnostics on
+//	                                the same line, the line below the
+//	                                directive, or (in a function doc) the
+//	                                whole function; the reason is
+//	                                mandatory
+type directives struct {
+	deterministic map[*types.Func]bool
+	eventloop     map[*types.Func]bool
+	release       map[*types.Func]bool
+	allows        []*allowDirective
+}
+
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	file     string
+	line     int
+	// fnStart/fnEnd bound the enclosing function's lines when the
+	// directive sits in a function doc comment (0,0 otherwise).
+	fnStart, fnEnd int
+	used           bool
+}
+
+// directives scans (once) every module package for lint annotations.
+func (prog *Program) directives() *directives {
+	if prog.dirs != nil {
+		return prog.dirs
+	}
+	d := &directives{
+		deterministic: make(map[*types.Func]bool),
+		eventloop:     make(map[*types.Func]bool),
+		release:       make(map[*types.Func]bool),
+	}
+	for _, pkg := range prog.allPackages() {
+		for _, f := range pkg.Files {
+			inDoc := make(map[*ast.Comment]bool)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				for _, c := range fd.Doc.List {
+					inDoc[c] = true
+					verb, rest := parseDirective(c.Text)
+					switch verb {
+					case "":
+						continue
+					case "deterministic":
+						if fn != nil {
+							d.deterministic[fn] = true
+						}
+					case "eventloop":
+						if fn != nil {
+							d.eventloop[fn] = true
+						}
+					case "release":
+						if fn != nil {
+							d.release[fn] = true
+						}
+					case "allow":
+						al := newAllow(prog.Fset, c, rest)
+						al.fnStart = prog.Fset.Position(fd.Pos()).Line
+						al.fnEnd = prog.Fset.Position(fd.End()).Line
+						d.allows = append(d.allows, al)
+					}
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if inDoc[c] {
+						continue
+					}
+					if verb, rest := parseDirective(c.Text); verb == "allow" {
+						d.allows = append(d.allows, newAllow(prog.Fset, c, rest))
+					}
+				}
+			}
+		}
+	}
+	prog.dirs = d
+	return d
+}
+
+// allPackages returns every type-checked module package, including
+// dependency-only ones (annotations in a dep must still be honored when
+// analyzing a subset of packages).
+func (prog *Program) allPackages() []*Package {
+	out := make([]*Package, 0, len(prog.ByPath))
+	for _, p := range prog.ByPath {
+		out = append(out, p)
+	}
+	return out
+}
+
+func newAllow(fset *token.FileSet, c *ast.Comment, rest string) *allowDirective {
+	name, reason, _ := strings.Cut(rest, " ")
+	pos := fset.Position(c.Pos())
+	return &allowDirective{
+		analyzer: name,
+		reason:   strings.TrimSpace(reason),
+		pos:      pos,
+		file:     pos.Filename,
+		line:     pos.Line,
+	}
+}
+
+// parseDirective splits a `//lint:<verb> <rest>` comment; verb is ""
+// for non-directive comments.
+func parseDirective(text string) (verb, rest string) {
+	t := strings.TrimPrefix(text, "//")
+	t = strings.TrimSpace(t)
+	if !strings.HasPrefix(t, "lint:") {
+		return "", ""
+	}
+	t = strings.TrimPrefix(t, "lint:")
+	verb, rest, _ = strings.Cut(t, " ")
+	return verb, strings.TrimSpace(rest)
+}
+
+// allowFor returns the directive suppressing d, or nil.
+func (ds *directives) allowFor(d Diagnostic) *allowDirective {
+	for _, al := range ds.allows {
+		if al.analyzer != d.Analyzer || al.file != d.Pos.Filename {
+			continue
+		}
+		if al.fnEnd != 0 && al.fnStart <= d.Pos.Line && d.Pos.Line <= al.fnEnd {
+			return al
+		}
+		if al.line == d.Pos.Line || al.line == d.Pos.Line-1 {
+			return al
+		}
+	}
+	return nil
+}

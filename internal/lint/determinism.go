@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DeterminismAnalyzer enforces replica determinism: every function
+// reachable from a //lint:deterministic root (state-machine apply paths,
+// the core merge, snapshot/WAL/checkpoint encoders) must produce the same
+// results on every replica given the same inputs. It flags:
+//
+//   - time.Now / time.Since / time.Until — wall-clock reads diverge
+//     across replicas;
+//   - any use of math/rand or math/rand/v2;
+//   - iteration over a map unless the function shows sort evidence (a
+//     sort.* / slices.Sort* call) or the loop body is order-insensitive
+//     (map deletes, map-index writes, integer commutative accumulation,
+//     ifs thereof);
+//   - floating-point compound accumulation inside loops — float addition
+//     is not associative, so accumulation order changes the result.
+//
+// `go`-launched callees are traversed too: work spawned from a
+// deterministic scope still feeds replicated state.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags nondeterminism reachable from //lint:deterministic roots",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	dirs := pass.Prog.directives()
+	roots := sortedFuncs(dirs.deterministic)
+	if len(roots) == 0 {
+		return
+	}
+	g := pass.Prog.callgraph()
+	reach := g.reachable(roots, true)
+	for fn, root := range reach {
+		n := g.nodes[fn]
+		if n == nil || n.pkg != pass.Pkg {
+			continue
+		}
+		checkDeterminism(pass, n, root)
+	}
+}
+
+func checkDeterminism(pass *Pass, n *funcNode, root *types.Func) {
+	info := n.pkg.Info
+	sorted := hasSortEvidence(n)
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(n.pkg, x)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch callee.Pkg().Path() {
+			case "time":
+				switch callee.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(x.Pos(), "call to time.%s in deterministic scope (reachable from %s): wall-clock reads diverge across replicas",
+						callee.Name(), root.FullName())
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(x.Pos(), "use of %s.%s in deterministic scope (reachable from %s): randomness diverges across replicas",
+					callee.Pkg().Name(), callee.Name(), root.FullName())
+			}
+		case *ast.RangeStmt:
+			checkFloatAccum(pass, info, x.Body, root)
+			t := info.TypeOf(x.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sorted || orderInsensitiveBody(info, x.Body) {
+				return true
+			}
+			pass.Reportf(x.Pos(), "map iteration in deterministic scope (reachable from %s): iteration order is random — collect and sort the keys, or keep the body order-insensitive",
+				root.FullName())
+		case *ast.ForStmt:
+			checkFloatAccum(pass, info, x.Body, root)
+		}
+		return true
+	})
+}
+
+// checkFloatAccum flags compound floating-point accumulation directly in
+// a loop body (nested loops re-check their own bodies).
+func checkFloatAccum(pass *Pass, info *types.Info, body *ast.BlockStmt, root *types.Func) {
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			continue
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			continue
+		}
+		if t := info.TypeOf(as.Lhs[0]); t != nil && isFloat(t) {
+			pass.Reportf(as.Pos(), "floating-point accumulation in a loop in deterministic scope (reachable from %s): float addition is not associative — accumulate integers or fix the order explicitly",
+				root.FullName())
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// hasSortEvidence reports whether the function calls into sort/slices
+// sorting — taken as evidence that map-derived data is ordered before it
+// feeds state or serialized bytes.
+func hasSortEvidence(n *funcNode) bool {
+	for _, callee := range append(append([]*types.Func(nil), n.calls...), n.goCalls...) {
+		pkg := callee.Pkg()
+		if pkg == nil {
+			continue
+		}
+		if pkg.Path() == "sort" {
+			return true
+		}
+		if pkg.Path() == "slices" && len(callee.Name()) >= 4 && callee.Name()[:4] == "Sort" {
+			return true
+		}
+	}
+	return false
+}
+
+// orderInsensitiveBody reports whether executing the loop body for the
+// map's entries in any order yields the same final state: map deletes,
+// map-index writes, integer commutative compound assignment, increments,
+// and ifs/blocks composed of those.
+func orderInsensitiveBody(info *types.Info, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if !orderInsensitiveStmt(info, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(info *types.Info, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		// delete(m, k) only.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "delete"
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative and exact for integers only.
+			for _, lhs := range s.Lhs {
+				t := info.TypeOf(lhs)
+				if t == nil || isFloat(t) {
+					return false
+				}
+			}
+			return true
+		case token.ASSIGN:
+			// Writing distinct map slots commutes across iterations.
+			for _, lhs := range s.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				t := info.TypeOf(ix.X)
+				if t == nil {
+					return false
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || s.Else != nil {
+			return false
+		}
+		return orderInsensitiveBody(info, s.Body)
+	case *ast.BlockStmt:
+		return orderInsensitiveBody(info, s)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+func sortedFuncs(set map[*types.Func]bool) []*types.Func {
+	out := make([]*types.Func, 0, len(set))
+	for fn := range set {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}

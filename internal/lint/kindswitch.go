@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindswitchAnalyzer enforces exhaustive message dispatch: every switch
+// whose tag is the transport.Kind enum must either handle every declared
+// Kind constant or carry an explicit default clause. Adding a message
+// kind without wiring it through the routers and handlers then fails
+// lint instead of silently dropping traffic.
+//
+// The enum is identified structurally — a defined type named Kind in a
+// package named transport — so the analyzer also works against fixture
+// packages.
+var KindswitchAnalyzer = &Analyzer{
+	Name: "kindswitch",
+	Doc:  "requires transport.Kind switches to be exhaustive or explicitly defaulted",
+	Run:  runKindswitch,
+}
+
+func runKindswitch(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			sw, ok := node.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.Pkg.Info.TypeOf(sw.Tag)
+			named := kindEnumType(tagType)
+			if named == nil {
+				return true
+			}
+			all := enumConstants(named)
+			if len(all) == 0 {
+				return true
+			}
+			handled := make(map[string]bool)
+			hasDefault := false
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if c := constName(pass.Pkg.Info, e); c != "" {
+						handled[c] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, c := range all {
+				if !handled[c.Name()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch on %s.Kind is not exhaustive and has no default: missing %s — handle them or add an explicit default stating why they cannot arrive here",
+					named.Obj().Pkg().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// kindEnumType returns t as the transport Kind enum type, or nil.
+func kindEnumType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Name() != "transport" {
+		return nil
+	}
+	return named
+}
+
+// enumConstants lists the constants of the enum type declared in its
+// package, ordered by value.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Uint64Val(out[i].Val())
+		vj, _ := constant.Uint64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}
+
+// constName resolves a case expression to the constant it names.
+func constName(info *types.Info, e ast.Expr) string {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	if c, ok := obj.(*types.Const); ok {
+		return c.Name()
+	}
+	return ""
+}

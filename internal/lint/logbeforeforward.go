@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LogBeforeForwardAnalyzer enforces the acceptor's log-before-forward
+// discipline (PR 2): protocol messages produced on the ring event loop
+// are staged, and only the //lint:release function may transmit them —
+// after the group-commit WAL write (Log.PutBatch) has been checked for
+// success. Concretely:
+//
+//   - any transport Send/SendBatch call in code reachable from an
+//     //lint:eventloop root, outside the release function, is flagged —
+//     handlers stage, they do not transmit;
+//   - inside the release function, every transmit must be preceded (in
+//     source order) by a PutBatch call whose error is checked with an
+//     early return; a transmit before the checked WAL write, or an
+//     ignored PutBatch error, is flagged.
+var LogBeforeForwardAnalyzer = &Analyzer{
+	Name: "logbeforeforward",
+	Doc:  "staged sends may only be released after a checked Log.PutBatch",
+	Run:  runLogBeforeForward,
+}
+
+func runLogBeforeForward(pass *Pass) {
+	dirs := pass.Prog.directives()
+	if len(dirs.eventloop) == 0 && len(dirs.release) == 0 {
+		return
+	}
+	g := pass.Prog.callgraph()
+	reach := g.reachable(sortedFuncs(dirs.eventloop), false)
+
+	for fn, root := range reach {
+		if dirs.release[fn] {
+			continue
+		}
+		n := g.nodes[fn]
+		if n == nil || n.pkg != pass.Pkg {
+			continue
+		}
+		ast.Inspect(n.decl, func(node ast.Node) bool {
+			if _, ok := node.(*ast.GoStmt); ok {
+				return false // spawned goroutines are not the event loop
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeOf(n.pkg, call); callee != nil && isTransmit(callee) {
+				pass.Reportf(call.Pos(), "direct transport %s on the event-loop path (reachable from %s): stage the message and let the release function transmit after the WAL write",
+					callee.Name(), root.FullName())
+			}
+			return true
+		})
+	}
+
+	for fn := range dirs.release {
+		n := g.nodes[fn]
+		if n == nil || n.pkg != pass.Pkg {
+			continue
+		}
+		checkReleaseFunc(pass, n)
+	}
+}
+
+// isTransmit matches the transport-layer send entry points: methods named
+// Send/SendBatch declared in a package named transport (the Transport and
+// BatchSender interfaces, or fixture doubles of them).
+func isTransmit(fn *types.Func) bool {
+	if fn.Name() != "Send" && fn.Name() != "SendBatch" {
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Name() != "transport" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// checkReleaseFunc verifies the release function's shape: a checked
+// PutBatch with early return on error must precede every transmit.
+func checkReleaseFunc(pass *Pass, n *funcNode) {
+	var transmits []*ast.CallExpr
+	var guardedPut token.Pos // position of the checked PutBatch, if any
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if callee := calleeOf(n.pkg, x); callee != nil {
+				if isTransmit(callee) {
+					transmits = append(transmits, x)
+				}
+				if callee.Name() == "PutBatch" && guardedPut == token.NoPos && putBatchIsGuarded(n, x) {
+					guardedPut = x.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(transmits) == 0 {
+		return
+	}
+	for _, t := range transmits {
+		if guardedPut == token.NoPos {
+			pass.Reportf(t.Pos(), "release function transmits staged sends without a checked Log.PutBatch: the WAL write must succeed before anything leaves this node")
+		} else if t.Pos() < guardedPut {
+			pass.Reportf(t.Pos(), "release function transmits before the checked Log.PutBatch: log before forward")
+		}
+	}
+}
+
+// putBatchIsGuarded reports whether call sits in an
+// `if err := ...PutBatch(...); err != nil { ... return }` (or an
+// assignment whose error is checked the same way immediately after).
+func putBatchIsGuarded(n *funcNode, call *ast.CallExpr) bool {
+	guarded := false
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		ifs, ok := node.(*ast.IfStmt)
+		if !ok || guarded {
+			return !guarded
+		}
+		if !containsNode(ifs.Init, call) && !containsNode(ifs.Cond, call) {
+			return true
+		}
+		if isErrNilCheck(ifs.Cond) && containsReturn(ifs.Body) {
+			guarded = true
+		}
+		return true
+	})
+	return guarded
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(node ast.Node) bool {
+		if node == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isErrNilCheck matches `<expr> != nil`.
+func isErrNilCheck(cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return isNil(be.X) || isNil(be.Y)
+}
+
+func containsReturn(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if _, ok := node.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,23 @@
+// Package allowcases exercises the framework's suppression hygiene: an
+// allow with no reason is itself a finding, and a reasoned allow that
+// suppresses nothing is reported as stale.
+package allowcases
+
+import "time"
+
+// Stamp suppresses its clock read without giving a reason — the
+// suppression works, but the framework reports the missing reason.
+//
+//lint:deterministic
+func Stamp() int64 {
+	//lint:allow determinism
+	return time.Now().UnixNano()
+}
+
+// Pure has nothing to suppress; the allow below is stale.
+//
+//lint:deterministic
+func Pure(x int) int {
+	//lint:allow determinism left over from a refactor
+	return x * 2
+}

@@ -1,0 +1,54 @@
+// Package determfail holds code the determinism analyzer must flag.
+package determfail
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Apply is a deterministic root with three violations of its own.
+//
+//lint:deterministic
+func Apply(ops map[string][]byte) []byte {
+	ts := time.Now() // want `call to time\.Now in deterministic scope`
+	var buf []byte
+	for k, v := range ops { // want `map iteration in deterministic scope`
+		buf = append(buf, k...)
+		buf = append(buf, v...)
+	}
+	buf = append(buf, byte(ts.Nanosecond()))
+	buf = append(buf, byte(rand.Intn(256))) // want `use of rand\.Intn in deterministic scope`
+	return helper(buf)
+}
+
+// helper is not annotated itself: the violation below must be found
+// through call-graph reachability from Apply.
+func helper(buf []byte) []byte {
+	if time.Since(epoch) > time.Second { // want `call to time\.Since in deterministic scope \(reachable from .*determfail\.Apply\)`
+		return nil
+	}
+	return buf
+}
+
+var epoch time.Time
+
+// Accumulate sums floats in a loop: float addition is not associative.
+//
+//lint:deterministic
+func Accumulate(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // want `floating-point accumulation in a loop`
+	}
+	return sum
+}
+
+// Spawned violations count too: goroutines launched from a deterministic
+// scope still feed replicated state.
+//
+//lint:deterministic
+func SpawnStamp(out chan<- int64) {
+	go func() {
+		out <- time.Now().UnixNano() // want `call to time\.Now in deterministic scope`
+	}()
+}

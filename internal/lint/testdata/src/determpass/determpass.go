@@ -1,0 +1,71 @@
+// Package determpass holds deterministic-scope code the analyzer must
+// accept: sorted map iteration, order-insensitive loop bodies, integer
+// accumulation, and a reasoned allow.
+package determpass
+
+import (
+	"sort"
+	"time"
+)
+
+// EncodeSorted iterates a map but shows sort evidence: the keys are
+// collected and ordered before they feed the output bytes.
+//
+//lint:deterministic
+func EncodeSorted(ops map[string][]byte) []byte {
+	keys := make([]string, 0, len(ops))
+	for k := range ops {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		buf = append(buf, k...)
+		buf = append(buf, ops[k]...)
+	}
+	return buf
+}
+
+// CountAndTrim's map loops are order-insensitive: integer accumulation,
+// deletes, and map-slot writes commute across iterations.
+//
+//lint:deterministic
+func CountAndTrim(seen map[string]int, dead map[string]bool, floor int) int {
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	for k := range dead {
+		delete(seen, k)
+	}
+	for k := range seen {
+		if seen[k] < floor {
+			dead[k] = true
+		}
+	}
+	return total
+}
+
+// SumInts accumulates integers in a loop — exact and associative, unlike
+// the float case.
+//
+//lint:deterministic
+func SumInts(xs []int64) int64 {
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Stamp reads the clock inside a deterministic scope, but the reading is
+// local telemetry with a documented suppression.
+//
+//lint:deterministic
+func Stamp(gauge *int64) {
+	start := time.Now() //lint:allow determinism fixture telemetry: the duration feeds a local gauge, never replicated state
+	work()
+	*gauge = int64(time.Since(start)) //lint:allow determinism fixture telemetry: the duration feeds a local gauge, never replicated state
+}
+
+func work() {}

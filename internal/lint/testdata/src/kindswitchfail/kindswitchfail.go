@@ -1,0 +1,26 @@
+// Package kindswitchfail holds Kind dispatch the kindswitch analyzer
+// must flag.
+package kindswitchfail
+
+import "amcast/internal/lint/testdata/src/transport"
+
+// Handle misses KindC and has no default: adding a kind without wiring
+// it through dispatch would silently drop traffic.
+func Handle(m transport.Message) int {
+	switch m.Kind { // want `switch on transport\.Kind is not exhaustive and has no default: missing KindC`
+	case transport.KindA:
+		return 1
+	case transport.KindB:
+		return 2
+	}
+	return 0
+}
+
+// HandleOne misses two kinds; both are named in the diagnostic.
+func HandleOne(m transport.Message) bool {
+	switch m.Kind { // want `missing KindB, KindC`
+	case transport.KindA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Package kindswitchpass holds Kind dispatch the kindswitch analyzer
+// must accept: exhaustive switches, explicit defaults, and switches over
+// unrelated types.
+package kindswitchpass
+
+import "amcast/internal/lint/testdata/src/transport"
+
+// Handle covers every declared kind.
+func Handle(m transport.Message) int {
+	switch m.Kind {
+	case transport.KindA:
+		return 1
+	case transport.KindB:
+		return 2
+	case transport.KindC:
+		return 3
+	}
+	return 0
+}
+
+// HandleDefault drops unknown kinds explicitly.
+func HandleDefault(m transport.Message) int {
+	switch m.Kind {
+	case transport.KindA:
+		return 1
+	default:
+		// Stray traffic on a shared mailbox: dropping is safe under
+		// fair-lossy transport semantics.
+		return 0
+	}
+}
+
+// other is a local enum the analyzer must not confuse with the
+// transport Kind.
+type other byte
+
+const (
+	otherA other = iota
+	otherB
+)
+
+// HandleOther switches over an unrelated enum; no exhaustiveness is
+// demanded.
+func HandleOther(o other) bool {
+	switch o {
+	case otherA:
+		return true
+	}
+	return false
+}

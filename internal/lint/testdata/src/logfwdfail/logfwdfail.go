@@ -1,0 +1,40 @@
+// Package logfwdfail holds log-before-forward violations.
+package logfwdfail
+
+import "amcast/internal/lint/testdata/src/transport"
+
+// Loop is the event-loop root; handlers it reaches must stage, not send.
+//
+//lint:eventloop
+func Loop(c transport.Conn, m transport.Message) {
+	handle(c, m)
+}
+
+// handle transmits directly from the loop path instead of staging.
+func handle(c transport.Conn, m transport.Message) {
+	_ = c.Send(m) // want `direct transport Send on the event-loop path \(reachable from .*logfwdfail\.Loop\)`
+}
+
+// ReleaseEarly transmits before the WAL write is checked: a crash after
+// the send but before durability would betray the promise the message
+// carries.
+//
+//lint:release
+func ReleaseEarly(c transport.Conn, log transport.Log, staged []transport.Message, recs [][]byte) {
+	for _, m := range staged {
+		_ = c.Send(m) // want `release function transmits before the checked Log\.PutBatch`
+	}
+	if err := log.PutBatch(recs); err != nil {
+		return
+	}
+}
+
+// ReleaseUnchecked never checks the WAL write at all.
+//
+//lint:release
+func ReleaseUnchecked(c transport.Conn, log transport.Log, staged []transport.Message, recs [][]byte) {
+	_ = log.PutBatch(recs)
+	for _, m := range staged {
+		_ = c.Send(m) // want `release function transmits staged sends without a checked Log\.PutBatch`
+	}
+}

@@ -1,0 +1,42 @@
+// Package logfwdpass holds the sanctioned log-before-forward shape.
+package logfwdpass
+
+import "amcast/internal/lint/testdata/src/transport"
+
+// node stages messages on the loop and releases them after the WAL write.
+type node struct {
+	conn   transport.Conn
+	log    transport.Log
+	staged []transport.Message
+	wal    [][]byte
+}
+
+// Loop stages and then releases through the one sanctioned function.
+//
+//lint:eventloop
+func (n *node) Loop(m transport.Message) {
+	n.stage(m)
+	n.commitStaged()
+}
+
+// stage queues a message for the post-WAL release.
+func (n *node) stage(m transport.Message) {
+	n.staged = append(n.staged, m)
+	n.wal = append(n.wal, m.Data)
+}
+
+// commitStaged is the release function: the group-commit WAL write is
+// checked, with an early return on failure, before anything leaves the
+// node.
+//
+//lint:release
+func (n *node) commitStaged() {
+	if err := n.log.PutBatch(n.wal); err != nil {
+		n.staged = n.staged[:0]
+		n.wal = n.wal[:0]
+		return
+	}
+	_ = n.conn.SendBatch(n.staged)
+	n.staged = n.staged[:0]
+	n.wal = n.wal[:0]
+}

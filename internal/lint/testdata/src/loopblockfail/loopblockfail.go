@@ -1,0 +1,30 @@
+// Package loopblockfail holds event-loop code the loopblock analyzer
+// must flag.
+package loopblockfail
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Loop is an event-loop root with direct violations.
+//
+//lint:eventloop
+func Loop(ch chan int, mu *sync.Mutex, f *os.File) {
+	ch <- 1                          // want `bare channel send on the event loop`
+	time.Sleep(time.Millisecond)     // want `time\.Sleep on the event loop`
+	if err := f.Sync(); err != nil { // want `fsync on the event loop`
+		return
+	}
+	mu.Lock()
+	_, _ = f.Write(nil) // want `os\.Write called while holding a lock`
+	mu.Unlock()
+	dispatch(ch)
+}
+
+// dispatch is unannotated: its violation must be found through
+// reachability from Loop.
+func dispatch(ch chan int) {
+	ch <- 2 // want `bare channel send on the event loop \(reachable from .*loopblockfail\.Loop\)`
+}

@@ -1,0 +1,37 @@
+// Package loopblockpass holds event-loop code the loopblock analyzer
+// must accept: select-guarded sends, spawned goroutines, and timer cases.
+package loopblockpass
+
+import (
+	"os"
+	"time"
+)
+
+// Loop never blocks: sends are select comm clauses with a default or
+// done case, slow work is spawned, and the timer is a channel case.
+//
+//lint:eventloop
+func Loop(in <-chan int, out chan<- int, done <-chan struct{}, f *os.File) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case v := <-in:
+			select {
+			case out <- v: // non-blocking: select chooses a ready case
+			default:
+			}
+		case <-t.C:
+			// Durable work is handed to its own goroutine; a spawned
+			// goroutine cannot block the loop.
+			go flushDurable(f)
+		case <-done:
+			return
+		}
+	}
+}
+
+// flushDurable runs off the loop; its fsync is fine there.
+func flushDurable(f *os.File) {
+	_ = f.Sync()
+}

@@ -1,0 +1,37 @@
+// Package transport is a fixture double of the real transport package.
+// The analyzers identify the Kind enum and the Send/SendBatch transmit
+// entry points structurally — by package NAME, not import path — so this
+// miniature keeps the fixtures self-contained and their expected
+// diagnostics small (three kinds instead of twenty-five).
+package transport
+
+// Kind tags a message, mirroring the real transport.Kind.
+type Kind byte
+
+// The fixture protocol's three message kinds.
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+)
+
+// Message is a minimal protocol message.
+type Message struct {
+	Kind Kind
+	Data []byte
+}
+
+// Conn is a transmit endpoint; its methods are what the logbeforeforward
+// analyzer recognizes as transport sends.
+type Conn struct{}
+
+// Send transmits one message.
+func (Conn) Send(m Message) error { return nil }
+
+// SendBatch transmits a batch.
+func (Conn) SendBatch(ms []Message) error { return nil }
+
+// Log is a fixture double of storage.Log's group-commit entry point.
+type Log interface {
+	PutBatch(recs [][]byte) error
+}

@@ -143,6 +143,10 @@ func (c *Controller) serviceLoop() {
 				case <-c.done:
 					return
 				}
+			default:
+				// The controller's service mailbox receives only the RPC
+				// replies it solicited (acks and range chunks); anything
+				// else is late traffic from a finished phase — dropped.
 			}
 		}
 	}

@@ -17,6 +17,8 @@ import (
 // batch is encoded in place: votes carry the full proposal payload (32 KB
 // packed instances), and an intermediate EncodeBatch buffer would double
 // the copy on every acceptor's hot path.
+//
+//lint:deterministic
 func encodeAccept(ballot uint32, instance uint64, v transport.Value) []byte {
 	buf := make([]byte, 0, 4+4+8+8+1+4+4+len(v.Data))
 	var tmp [8]byte
@@ -52,6 +54,8 @@ func decodeAccept(rec []byte) (ballot uint32, instance uint64, v transport.Value
 const promiseInstance = 0
 
 // encodePromise stores a promised ballot.
+//
+//lint:deterministic
 func encodePromise(ballot uint32) []byte {
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], ballot)

@@ -155,6 +155,8 @@ func (a *Applier) Close() {
 // Apply executes the batch, filling out[i] with the encoded result of
 // ops[i]. Results, final state, and checkpoint bytes are identical to
 // executing the ops one by one in order. len(out) must equal len(ops).
+//
+//lint:deterministic
 func (a *Applier) Apply(groups []transport.RingID, ops [][]byte, out [][]byte) {
 	n := len(ops)
 	segStart := 0

@@ -379,6 +379,8 @@ func BuildNode(opts RecoveryOptions) (BuildNodeResult, error) {
 // snapshot. The cursor rides inside the checkpoint so recovery resumes the
 // deterministic merge at the exact position; dedup state rides along so
 // duplicate suppression survives restarts.
+//
+//lint:deterministic
 func encodeStateParts(cur core.Cursor, dedup []byte, snap []byte) []byte {
 	cb := cur.Encode()
 	buf := make([]byte, 0, 8+len(cb)+len(dedup)+len(snap))
@@ -535,6 +537,8 @@ func (w *clientWindow) record(seq uint64, resp []byte) {
 // encodeDedup serializes the duplicate-suppression floors in ascending
 // client-id order, so identical dedup states encode to identical
 // (checksummable) bytes regardless of map iteration order.
+//
+//lint:deterministic
 func encodeDedup(dedup map[transport.ProcessID]*clientWindow) []byte {
 	ids := make([]transport.ProcessID, 0, len(dedup))
 	for c := range dedup {
@@ -674,6 +678,8 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 // machine's batch entry point when it has one) and checkpoint accounting
 // — touches only merge-owned state, lock-free. Client responses are
 // flushed together after execution.
+//
+//lint:deterministic
 func (r *Replica) deliverBatch(ds []core.Delivery) {
 	// Local reads are shut out for the duration: parallel apply commits
 	// runs out of delivery order, so mid-batch states are not prefixes
@@ -864,7 +870,7 @@ func (r *Replica) checkpoint(waiter chan bool) {
 		}
 		return
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism checkpoint-stall telemetry only: the duration feeds a local gauge, never replicated state or checkpoint bytes
 	r.ckptRetry.Store(false)
 	c := &ckptCapture{
 		vector: r.cfg.Node.DeliveredVector(),
@@ -884,7 +890,7 @@ func (r *Replica) checkpoint(waiter chan bool) {
 	} else {
 		r.enqueueCheckpoint(c)
 	}
-	r.noteStall(time.Since(start))
+	r.noteStall(time.Since(start)) //lint:allow determinism checkpoint-stall telemetry only: the duration feeds a local gauge, never replicated state or checkpoint bytes
 }
 
 // enqueueCheckpoint parks a capture for the writer, coalescing: if an
@@ -1175,6 +1181,8 @@ func (r *Replica) ResubscribeStallMax() time.Duration {
 }
 
 // EncodeRingIDs serializes a group list for reconfiguration RPC payloads.
+//
+//lint:deterministic
 func EncodeRingIDs(ids []transport.RingID) []byte {
 	buf := make([]byte, 4, 4+4*len(ids))
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(ids)))

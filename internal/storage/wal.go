@@ -187,6 +187,11 @@ func (w *FileWAL) replaySegment(seg *walSegment) error {
 		return fmt.Errorf("storage: open segment: %w", err)
 	}
 	defer func() { _ = f.Close() }()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: stat segment: %w", err)
+	}
+	fileSize := st.Size()
 	r := bufio.NewReader(f)
 	var hdr [16]byte
 	var off int64
@@ -199,6 +204,13 @@ func (w *FileWAL) replaySegment(seg *walSegment) error {
 		inst := binary.LittleEndian.Uint64(hdr[:8])
 		size := binary.LittleEndian.Uint32(hdr[8:12])
 		sum := binary.LittleEndian.Uint32(hdr[12:16])
+		if int64(size) > fileSize-off-16 {
+			// The header claims more bytes than the segment holds: a torn
+			// or corrupt length. Sizing the read buffer from the claim
+			// would let 4 flipped bytes demand a 4 GB allocation, so bound
+			// it by what is actually on disk and treat the tail as torn.
+			return nil
+		}
 		data := make([]byte, size)
 		if _, err := io.ReadFull(r, data); err != nil {
 			return nil // torn record
@@ -257,6 +269,8 @@ func (w *FileWAL) rollSegment() error {
 
 // appendLocked frames one record into the current segment's buffer and
 // indexes its location. It does not flush or sync.
+//
+//lint:deterministic
 func (w *FileWAL) appendLocked(instance uint64, record []byte) error {
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[:8], instance)

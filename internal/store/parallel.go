@@ -85,6 +85,8 @@ var stagedRunPool = sync.Pool{
 // StageRun executes one conflict-free run against a snapshot + overlay,
 // filling out positionally. Safe concurrently with other StageRun calls:
 // the snapshot is immutable (COW treap) and the overlay is private.
+//
+//lint:deterministic
 func (s *SM) StageRun(_ []transport.RingID, ops [][]byte, out [][]byte) any {
 	s.mu.Lock()
 	st := stagedRunPool.Get().(*stagedRun)
@@ -105,6 +107,8 @@ func (s *SM) StageRun(_ []transport.RingID, ops [][]byte, out [][]byte) any {
 // CommitRun applies a staged run's writes to the live tree. Called
 // sequentially in run order; runs are key-disjoint, so the final tree
 // contents cannot depend on the order anyway.
+//
+//lint:deterministic
 func (s *SM) CommitRun(effects any) {
 	st := effects.(*stagedRun)
 	s.mu.Lock()

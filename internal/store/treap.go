@@ -12,7 +12,6 @@
 package store
 
 import (
-	"math/rand"
 	"strings"
 )
 
@@ -32,7 +31,6 @@ import (
 type treap struct {
 	root *treapNode
 	size int
-	rng  *rand.Rand
 }
 
 // treapNode is immutable after being linked into a published root; updates
@@ -63,10 +61,29 @@ func (n *treapNode) clone() *treapNode {
 	return &c
 }
 
-// newTreap builds an empty tree with a deterministic priority source so
-// replicas stay byte-identical (determinism matters for state machines).
+// newTreap builds an empty tree.
 func newTreap() *treap {
-	return &treap{rng: rand.New(rand.NewSource(0x5eed))}
+	return &treap{}
+}
+
+// priorityOf derives a node's heap priority from its key (FNV-1a). A
+// seeded rand.Rand would also be deterministic per replica, but its
+// stream position depends on operation *history* — a replica restored
+// from a snapshot and one that applied the ops organically would hold
+// differently shaped trees. Hashing the key makes the shape a pure
+// function of the key set, and keeps any random source out of the apply
+// path entirely.
+func priorityOf(key string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int64(h >> 1) // keep priorities non-negative
 }
 
 // Len reports the number of entries.
@@ -146,7 +163,7 @@ func (t *treap) Put(key string, value []byte) bool {
 
 func (t *treap) put(n *treapNode, key string, value []byte) (*treapNode, bool) {
 	if n == nil {
-		return &treapNode{key: key, value: value, priority: t.rng.Int63(), sub: 1}, false
+		return &treapNode{key: key, value: value, priority: priorityOf(key), sub: 1}, false
 	}
 	nc := n.clone()
 	switch c := strings.Compare(key, n.key); {

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode hammers the wire-format message decoder: DecodeMessage
+// must never panic on adversarial bytes, and whatever it accepts must
+// survive an encode/decode round trip unchanged (the encoding is
+// canonical for the fields the decoder exposes).
+func FuzzFrameDecode(f *testing.F) {
+	seed := Message{
+		Kind:     KindProposal,
+		From:     3,
+		To:       7,
+		Ring:     2,
+		Ballot:   9,
+		Instance: 41,
+		Votes:    1,
+		Count:    2,
+		Seq:      77,
+		Value:    Value{ID: 5, Count: 1, Data: []byte("payload")},
+		Payload:  []byte("aux"),
+	}
+	f.Add(seed.Encode())
+	f.Add(seed.Encode()[:10]) // truncated header
+	f.Add([]byte{})
+	batched := seed
+	batched.Value.Batched = true
+	batched.Value.Data = EncodeBatch([]InstanceValue{
+		{Instance: 1, Value: Value{ID: 1, Data: []byte("a")}},
+		{Instance: 2, Value: Value{ID: 2, Skip: true, Count: 3}},
+	})
+	f.Add(batched.Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		enc := m.Encode()
+		if len(enc) != m.EncodedSize() {
+			t.Fatalf("EncodedSize %d != len(Encode) %d", m.EncodedSize(), len(enc))
+		}
+		m2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !messagesEqual(m, m2) {
+			t.Fatalf("round trip changed message:\n  in:  %+v\n  out: %+v", m, m2)
+		}
+
+		// The batch codec must agree with itself on whatever it accepts.
+		batch, err := DecodeBatch(m.Value.Data)
+		if err != nil {
+			return
+		}
+		visited := 0
+		if err := VisitBatch(m.Value.Data, func(iv InstanceValue) {
+			if visited < len(batch) {
+				want := batch[visited]
+				if iv.Instance != want.Instance || !bytes.Equal(iv.Value.Data, want.Value.Data) {
+					t.Fatalf("VisitBatch entry %d disagrees with DecodeBatch", visited)
+				}
+			}
+			visited++
+		}); err != nil {
+			t.Fatalf("VisitBatch rejected what DecodeBatch accepted: %v", err)
+		}
+		if visited != len(batch) {
+			t.Fatalf("VisitBatch saw %d entries, DecodeBatch %d", visited, len(batch))
+		}
+		reenc := EncodeBatch(batch)
+		batch2, err := DecodeBatch(reenc)
+		if err != nil || len(batch2) != len(batch) {
+			t.Fatalf("batch re-encoding round trip failed: %v (%d vs %d entries)", err, len(batch2), len(batch))
+		}
+	})
+}
+
+func messagesEqual(a, b Message) bool {
+	return a.Kind == b.Kind && a.From == b.From && a.To == b.To &&
+		a.Ring == b.Ring && a.Ballot == b.Ballot && a.Instance == b.Instance &&
+		a.Votes == b.Votes && a.Count == b.Count && a.Seq == b.Seq &&
+		a.Value.ID == b.Value.ID && a.Value.Skip == b.Value.Skip &&
+		a.Value.Batched == b.Value.Batched && a.Value.Count == b.Value.Count &&
+		bytes.Equal(a.Value.Data, b.Value.Data) && bytes.Equal(a.Payload, b.Payload)
+}

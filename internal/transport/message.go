@@ -232,6 +232,8 @@ func (m *Message) EncodedSize() int {
 
 // AppendEncode appends the binary encoding of m to buf and returns the
 // extended slice. The format is fixed-width little-endian; no reflection.
+//
+//lint:deterministic
 func (m *Message) AppendEncode(buf []byte) []byte {
 	var tmp [8]byte
 	buf = append(buf, byte(m.Kind))
@@ -326,6 +328,8 @@ type InstanceValue struct {
 
 // AppendValue appends one batch entry's value encoding (the per-entry
 // layout of EncodeBatch, after the instance) to buf.
+//
+//lint:deterministic
 func AppendValue(buf []byte, v Value) []byte {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint64(tmp[:8], v.ID)
@@ -339,6 +343,8 @@ func AppendValue(buf []byte, v Value) []byte {
 }
 
 // EncodeBatch encodes a retransmission batch into a payload.
+//
+//lint:deterministic
 func EncodeBatch(batch []InstanceValue) []byte {
 	size := 4
 	for _, iv := range batch {
@@ -394,7 +400,14 @@ func VisitBatch(buf []byte, fn func(InstanceValue)) error {
 func DecodeBatch(buf []byte) ([]InstanceValue, error) {
 	var batch []InstanceValue
 	if len(buf) >= 4 {
-		batch = make([]InstanceValue, 0, int(binary.LittleEndian.Uint32(buf[:4])))
+		// The count header comes off the wire: cap the preallocation by
+		// the entries the buffer could physically hold (25 bytes each),
+		// or 4 corrupt bytes could demand a ~200 GB make.
+		n := int(binary.LittleEndian.Uint32(buf[:4]))
+		if max := (len(buf) - 4) / 25; n > max {
+			n = max
+		}
+		batch = make([]InstanceValue, 0, n)
 	}
 	if err := VisitBatch(buf, func(iv InstanceValue) {
 		batch = append(batch, iv)
