@@ -19,12 +19,14 @@
 //	bench -chaos            # chaos campaigns: coordinator kills, rolling
 //	                        # kills during a live split, WAN partition
 //	                        # heal, disk-full acceptor
+//	bench -obs              # tracing overhead: per-value tracing off vs
+//	                        # 1% vs 100% sampling
 //	bench -duration 5s -scale 0.5 -clients 100 -records 5000
 //
 // Each regression benchmark accepts -json FILE to snapshot its result
 // (BENCH_delivery.json, BENCH_io.json, BENCH_ckpt.json,
 // BENCH_reconfig.json, BENCH_flow.json, BENCH_exec.json,
-// BENCH_chaos.json in CI).
+// BENCH_chaos.json, BENCH_obs.json in CI).
 //
 // Scale < 1 shrinks emulated device and WAN latencies proportionally so
 // runs finish quickly while preserving the ratios between configurations;
@@ -57,7 +59,8 @@ func run() error {
 	flowBench := flag.Bool("flow", false, "run the flow-control benchmark (static vs adaptive rate leveling, slow-replica isolation)")
 	execBench := flag.Bool("exec", false, "run the execution benchmark (conflict-aware parallel apply scaling, read-index vs multicast reads)")
 	chaosBench := flag.Bool("chaos", false, "run the chaos campaigns (failure detection, failover and recovery under injected faults)")
-	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt, -reconfig, -flow, -exec or -chaos benchmark result to this JSON file")
+	obsBench := flag.Bool("obs", false, "run the tracing-overhead benchmark (per-value tracing off vs 1% vs 100% sampling)")
+	benchJSON := flag.String("json", "", "write the -delivery, -io, -ckpt, -reconfig, -flow, -exec, -chaos or -obs benchmark result to this JSON file")
 	seedBaseline := flag.Float64("seed-baseline", 0, "recorded seed (pre-refactor) delivered msgs/s for the same workload; adds speedup_vs_seed to the JSON")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per configuration")
 	scale := flag.Float64("scale", 0.25, "emulated latency scale (1.0 = realistic hardware)")
@@ -72,21 +75,21 @@ func run() error {
 		Clients:  *clients,
 		Records:  *records,
 	}
-	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench && !*flowBench && !*execBench && !*chaosBench {
+	if *fig == "" && *ablation == "" && !*delivery && !*ioBench && !*ckptBench && !*reconfigBench && !*flowBench && !*execBench && !*chaosBench && !*obsBench {
 		flag.Usage()
-		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt, -reconfig, -flow, -exec or -chaos")
+		return fmt.Errorf("pass -fig, -ablation, -delivery, -io, -ckpt, -reconfig, -flow, -exec, -chaos or -obs")
 	}
 	selected := 0
-	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench, *flowBench, *execBench, *chaosBench} {
+	for _, b := range []bool{*delivery, *ioBench, *ckptBench, *reconfigBench, *flowBench, *execBench, *chaosBench, *obsBench} {
 		if b {
 			selected++
 		}
 	}
 	if selected > 1 && *benchJSON != "" {
-		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig, -flow, -exec, -chaos")
+		return fmt.Errorf("-json targets one benchmark; pass exactly one of -delivery, -io, -ckpt, -reconfig, -flow, -exec, -chaos, -obs")
 	}
 	if selected == 0 && *benchJSON != "" {
-		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt, -reconfig, -flow, -exec and -chaos benchmarks only")
+		return fmt.Errorf("-json applies to the -delivery, -io, -ckpt, -reconfig, -flow, -exec, -chaos and -obs benchmarks only")
 	}
 	if !*delivery && *seedBaseline > 0 {
 		return fmt.Errorf("-seed-baseline applies to the -delivery benchmark only")
@@ -190,6 +193,19 @@ func run() error {
 		}
 		if err != nil {
 			return err
+		}
+	}
+
+	if *obsBench {
+		res, err := bench.ObsBench(o)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
 		}
 	}
 

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	dlogd -logs 2 -servers 3
+//	dlogd -obs 127.0.0.1:8091 -trace-sample 100
+//
+// With -obs the process serves Prometheus metrics on /metrics, JSON ring
+// state on /debug/rings, assembled traces on /debug/trace/<id> and pprof
+// under /debug/pprof/. -trace-sample N samples every Nth append.
 //
 // Shell commands:
 //
@@ -18,6 +23,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -38,10 +45,13 @@ func main() {
 func run() error {
 	logs := flag.Int("logs", 2, "number of shared logs")
 	servers := flag.Int("servers", 3, "number of dLog servers")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug and pprof endpoints on this address")
+	traceSample := flag.Uint64("trace-sample", 0, "trace every Nth append (0 = off, 1 = all)")
 	flag.Parse()
 
 	d := cluster.NewDeployment(nil)
 	defer d.Close()
+	d.SetTraceSampling(*traceSample)
 	c, err := d.StartDLog(cluster.DLogOptions{
 		Logs:    *logs,
 		Servers: *servers,
@@ -55,6 +65,18 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs listener: %w", err)
+		}
+		fmt.Printf("observability on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, c.ObsMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "dlogd: obs server:", err)
+			}
+		}()
 	}
 	dc, raw, err := c.NewClient()
 	if err != nil {

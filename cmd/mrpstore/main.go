@@ -6,6 +6,13 @@
 // Usage:
 //
 //	mrpstore -partitions 3 -replicas 3 -global
+//	mrpstore -obs 127.0.0.1:8090 -trace-sample 100
+//
+// With -obs the process serves the observability endpoints: Prometheus
+// metrics on /metrics, JSON ring state on /debug/rings, assembled traces
+// on /debug/traces and /debug/trace/<id>, and pprof under /debug/pprof/.
+// -trace-sample N samples every Nth client submission end to end
+// (0 disables tracing, 1 traces everything).
 //
 // Shell commands (Table 1 of the paper):
 //
@@ -25,6 +32,8 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -51,10 +60,13 @@ func run() error {
 	global := flag.Bool("global", true, "add a global ring for ordered scans")
 	rangePart := flag.Bool("range", false, "range partitioning (default hash)")
 	execWorkers := flag.Int("exec-workers", 0, "parallel-apply workers per replica (0 = sequential)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug and pprof endpoints on this address (e.g. 127.0.0.1:8090)")
+	traceSample := flag.Uint64("trace-sample", 0, "trace every Nth client submission (0 = off, 1 = all)")
 	flag.Parse()
 
 	d := cluster.NewDeployment(nil)
 	defer d.Close()
+	d.SetTraceSampling(*traceSample)
 	kind := store.HashPartitioned
 	if *rangePart {
 		kind = store.RangePartitioned
@@ -76,6 +88,18 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs listener: %w", err)
+		}
+		fmt.Printf("observability on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, c.ObsMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "mrpstore: obs server:", err)
+			}
+		}()
 	}
 	sc, raw, err := c.NewClient(netem.SiteLocal)
 	if err != nil {

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amcast/internal/cluster"
+	"amcast/internal/core"
+	"amcast/internal/netem"
+)
+
+// Observability benchmark workload shape.
+const (
+	obsWorkers    = 8
+	obsValueBytes = 160
+	obsRecords    = 512
+	// obsRepeats runs each configuration in this many fresh deployments
+	// and keeps the fastest: closed-loop throughput on a small machine is
+	// bimodal with coordinator placement and merge-stall timing, and the
+	// noise only ever subtracts, so the max estimates capacity.
+	obsRepeats = 5
+)
+
+// ObsRow is one sampling configuration's measurement.
+type ObsRow struct {
+	// Sampling names the configuration: "off", "1%" or "100%".
+	Sampling string `json:"sampling"`
+	// Divisor is the every-Nth trace divisor behind it (0 = off).
+	Divisor uint64  `json:"divisor"`
+	OpsPerS float64 `json:"ops_per_s"`
+	// OpsPerCPU is ops per CPU second — the tracing tax independent of
+	// scheduler noise on small machines.
+	OpsPerCPU float64 `json:"ops_per_cpu_s"`
+	// Traces is how many distinct traces the collector assembled, and
+	// Spans how many spans all recorders retained, at window end.
+	Traces int `json:"traces"`
+	Spans  int `json:"spans"`
+}
+
+// ObsResult aggregates the tracing-overhead comparison.
+type ObsResult struct {
+	Workload  string  `json:"workload"`
+	DurationS float64 `json:"duration_s"`
+	Off       ObsRow  `json:"off"`
+	OnePct    ObsRow  `json:"one_percent"`
+	Full      ObsRow  `json:"full"`
+	// OverheadOnePct and OverheadFull are the throughput cost of
+	// sampling relative to tracing off: 1 - on/off (0.02 = 2% slower).
+	OverheadOnePct float64 `json:"overhead_one_percent"`
+	OverheadFull   float64 `json:"overhead_full"`
+}
+
+// ObsBench measures what end-to-end tracing costs the write path. The
+// same closed-loop update workload runs three times — tracing off,
+// sampling every 100th submission (the production setting) and sampling
+// everything — on a two-ring store with a global ring, so each sampled
+// write crosses the full submit → forward → wal-commit → decide → merge
+// → apply pipeline and every hop pays its span-recording branch.
+func ObsBench(o Options) (ObsResult, error) {
+	o = o.withDefaults()
+	o.header("Tracing overhead", "closed-loop updates, 2 partitions x 3 replicas + global ring, per-value tracing off vs 1% vs 100% sampling")
+	o.printf("%-8s %12s %12s %10s %10s\n", "sampling", "ops/s", "ops/cpu-s", "traces", "spans")
+
+	res := ObsResult{
+		Workload:  "closed-loop updates, 8 workers, 160 B values, 2 partitions x 3 replicas, global ring; per-value tracing off / every-100th / every submission",
+		DurationS: o.Duration.Seconds(),
+	}
+	for _, cfg := range []struct {
+		name    string
+		divisor uint64
+	}{
+		{"off", 0},
+		{"1%", 100},
+		{"100%", 1},
+	} {
+		var row ObsRow
+		for i := 0; i < obsRepeats; i++ {
+			r, err := obsRun(o, cfg.name, cfg.divisor)
+			if err != nil {
+				return res, err
+			}
+			if i == 0 || r.OpsPerS > row.OpsPerS {
+				row = r
+			}
+		}
+		switch cfg.name {
+		case "off":
+			res.Off = row
+		case "1%":
+			res.OnePct = row
+		case "100%":
+			res.Full = row
+		}
+		o.printf("%-8s %12.0f %12.0f %10d %10d\n", row.Sampling, row.OpsPerS, row.OpsPerCPU, row.Traces, row.Spans)
+	}
+	if res.Off.OpsPerS > 0 {
+		res.OverheadOnePct = 1 - res.OnePct.OpsPerS/res.Off.OpsPerS
+		res.OverheadFull = 1 - res.Full.OpsPerS/res.Off.OpsPerS
+	}
+	o.printf("overhead: %.1f%% at 1%% sampling, %.1f%% at 100%%\n",
+		res.OverheadOnePct*100, res.OverheadFull*100)
+	return res, nil
+}
+
+// WriteJSON writes the result snapshot (for the CI trajectory).
+func (r ObsResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// obsRun boots one deployment at the given trace divisor and drives the
+// update workload for o.Duration.
+func obsRun(o Options, name string, divisor uint64) (ObsRow, error) {
+	row := ObsRow{Sampling: name, Divisor: divisor}
+
+	d := cluster.NewDeployment(nil)
+	defer d.Close()
+	d.SetTraceSampling(divisor)
+	c, err := d.StartStore(cluster.StoreOptions{
+		Partitions: 2,
+		Replicas:   3,
+		Global:     true,
+		Ring: core.RingOptions{
+			RetryInterval: 200 * time.Millisecond,
+			SkipEnabled:   true,
+			Delta:         5 * time.Millisecond,
+			Lambda:        9000,
+			BatchBytes:    32 << 10,
+			Window:        256,
+		},
+	})
+	if err != nil {
+		return row, err
+	}
+	sc, cl, err := c.NewClient(netem.SiteLocal)
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+
+	value := make([]byte, obsValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	for i := 0; i < obsRecords; i++ {
+		if err := sc.Insert(obsKey(i), value); err != nil {
+			return row, fmt.Errorf("bench: obs preload: %w", err)
+		}
+	}
+
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	errs := make(chan error, obsWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < obsWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint32(w)*2654435761 + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng = rng*1664525 + 1013904223
+				if err := sc.Update(obsKey(int(rng)%obsRecords), value); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	startOps := ops.Load()
+	cpuBefore := cpuTime()
+	start := time.Now()
+	time.Sleep(o.Duration)
+	elapsed := time.Since(start).Seconds()
+	cpu := (cpuTime() - cpuBefore).Seconds()
+	n := ops.Load() - startOps
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return row, fmt.Errorf("bench: obs %s worker: %w", name, err)
+	default:
+	}
+	if n == 0 {
+		return row, fmt.Errorf("bench: obs %s executed nothing", name)
+	}
+
+	row.OpsPerS = float64(n) / elapsed
+	row.OpsPerCPU = float64(n) / cpu
+	row.Traces = len(d.Trace.TraceIDs(0))
+	row.Spans = d.Trace.SpanCount()
+	if divisor > 0 && row.Traces == 0 {
+		return row, fmt.Errorf("bench: obs %s sampled no traces", name)
+	}
+	return row, nil
+}
+
+func obsKey(i int) string {
+	return fmt.Sprintf("okey%06d", i)
+}

@@ -16,11 +16,13 @@ import (
 	"amcast/internal/core"
 	"amcast/internal/dlog"
 	"amcast/internal/netem"
+	"amcast/internal/obs"
 	"amcast/internal/reconfig"
 	"amcast/internal/recovery"
 	"amcast/internal/smr"
 	"amcast/internal/storage"
 	"amcast/internal/store"
+	"amcast/internal/trace"
 	"amcast/internal/transport"
 )
 
@@ -46,25 +48,69 @@ func FileWALFactory(dir string, opts storage.WALOptions) func(ring transport.Rin
 	}
 }
 
-// Deployment owns the emulated network and coordination service.
+// Deployment owns the emulated network and coordination service, plus
+// the deployment-wide observability surface: one metric registry and one
+// trace collector spanning every simulated process.
 type Deployment struct {
 	Net *transport.Network
 	Svc *coord.Service
+	// Obs is the unified metric registry every process registers into.
+	Obs *obs.Registry
+	// Trace collects the per-process span recorders for cluster-wide
+	// trace assembly (/debug/trace/<id>).
+	Trace *trace.Collector
 
-	nextClient atomic.Uint32
+	nextClient  atomic.Uint32
+	traceSample atomic.Uint64
 
 	mu      sync.Mutex
 	cleanup []func()
+	recs    map[transport.ProcessID]*trace.Recorder
 }
 
 // NewDeployment creates a deployment over a topology (nil = zero-delay).
 func NewDeployment(topo *netem.Topology) *Deployment {
 	d := &Deployment{
-		Net: transport.NewNetwork(topo),
-		Svc: coord.NewService(),
+		Net:   transport.NewNetwork(topo),
+		Svc:   coord.NewService(),
+		Obs:   obs.NewRegistry(),
+		Trace: trace.NewCollector(),
+		recs:  make(map[transport.ProcessID]*trace.Recorder),
 	}
 	d.nextClient.Store(20000)
 	return d
+}
+
+// SetTraceSampling sets the root-sampling divisor on every process
+// recorder, existing and future: 0 disables tracing, 1 samples every
+// client submit, n samples every nth.
+func (d *Deployment) SetTraceSampling(n uint64) {
+	d.traceSample.Store(n)
+	d.mu.Lock()
+	recs := make([]*trace.Recorder, 0, len(d.recs))
+	for _, r := range d.recs {
+		recs = append(recs, r)
+	}
+	d.mu.Unlock()
+	for _, r := range recs {
+		r.SetSampling(n)
+	}
+}
+
+// recorderFor returns the process's span recorder, creating and
+// registering it on first use. Restarted processes keep their recorder,
+// so the collector never accumulates duplicates.
+func (d *Deployment) recorderFor(id transport.ProcessID, name string) *trace.Recorder {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.recs[id]; ok {
+		return r
+	}
+	r := trace.NewRecorder(name, 0)
+	r.SetSampling(d.traceSample.Load())
+	d.Trace.Register(r)
+	d.recs[id] = r
+	return r
 }
 
 // Close shuts everything down in reverse start order.
@@ -106,7 +152,8 @@ func (d *Deployment) NewClient(site netem.Site) (*Client, error) {
 	id := transport.ProcessID(d.nextClient.Add(1))
 	tr := d.Net.Attach(id, site)
 	router := transport.NewRouter(tr)
-	node, err := core.New(core.Config{Self: id, Router: router, Coord: d.Svc})
+	rec := d.recorderFor(id, fmt.Sprintf("client%d", id))
+	node, err := core.New(core.Config{Self: id, Router: router, Coord: d.Svc, Tracer: rec})
 	if err != nil {
 		return nil, err
 	}
@@ -114,12 +161,14 @@ func (d *Deployment) NewClient(site netem.Site) (*Client, error) {
 		Self: id, Node: node, Transport: tr, Service: router.Service(),
 		// Wire the coordination service so in-flight submissions re-route
 		// on coordinator failover instead of waiting out retry timers.
-		Coord: d.Svc,
+		Coord:  d.Svc,
+		Tracer: rec,
 	})
 	if err != nil {
 		node.Stop()
 		return nil, err
 	}
+	d.wireClientObs(id, cl)
 	return &Client{ID: id, SMR: cl, node: node, tr: tr}, nil
 }
 
@@ -226,11 +275,13 @@ type StoreCluster struct {
 	Schema store.Schema
 	opts   StoreOptions
 
-	mu      sync.Mutex
-	servers map[transport.ProcessID]*store.Server
-	ckpts   map[transport.ProcessID]recovery.Store
-	dets    map[transport.ProcessID]*coord.Detector
-	logs    map[logKey]storage.Log // retained WALs (RetainLogs)
+	mu       sync.Mutex
+	servers  map[transport.ProcessID]*store.Server
+	ckpts    map[transport.ProcessID]recovery.Store
+	dets     map[transport.ProcessID]*coord.Detector
+	logs     map[logKey]storage.Log       // retained WALs (RetainLogs)
+	obsWired map[transport.ProcessID]bool // processes with registered metrics
+	walWired map[logKey]bool              // logs with a registered fsync counter
 	// partRing maps partition index -> partition ring id for partitions
 	// added after boot (the initial layout uses ring id == index).
 	partRing map[int]transport.RingID
@@ -322,6 +373,8 @@ func (d *Deployment) StartStore(opts StoreOptions) (*StoreCluster, error) {
 		dets:     make(map[transport.ProcessID]*coord.Detector),
 		logs:     make(map[logKey]storage.Log),
 		partRing: make(map[int]transport.RingID),
+		obsWired: make(map[transport.ProcessID]bool),
+		walWired: make(map[logKey]bool),
 	}
 	for p := 1; p <= opts.Partitions; p++ {
 		for r := 1; r <= opts.Replicas; r++ {
@@ -382,6 +435,7 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 		M:               c.opts.M,
 		GlobalLambda:    c.opts.GlobalLambda,
 		ExecWorkers:     c.opts.ExecWorkers,
+		Tracer:          c.D.recorderFor(id, fmt.Sprintf("p%dr%d", p, r)),
 	}
 	if c.opts.ExecWorkersOf != nil {
 		cfg.ExecWorkers = c.opts.ExecWorkersOf(p, r)
@@ -415,6 +469,17 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 			return c.opts.NewLog(ring, id)
 		}
 	}
+	if orig := cfg.NewLog; orig != nil {
+		// Register an fsync counter for every durable acceptor log the
+		// server opens (in-memory logs expose none).
+		cfg.NewLog = func(ring transport.RingID) (storage.Log, error) {
+			lg, err := orig(ring)
+			if err == nil {
+				c.wireWALObs(id, ring, lg, fmt.Sprintf("p%dr%d", p, r))
+			}
+			return lg, err
+		}
+	}
 	srv, err := store.NewServer(cfg)
 	if err != nil {
 		return fmt.Errorf("cluster: start store server %d: %w", id, err)
@@ -429,6 +494,7 @@ func (c *StoreCluster) startServer(p, r int, peerRecovery bool) error {
 		c.dets[id] = det
 	}
 	c.mu.Unlock()
+	c.wireStoreObs(p, r)
 	return nil
 }
 
@@ -694,9 +760,11 @@ func (d *Deployment) StartDLog(opts DLogOptions) (*DLogCluster, error) {
 			dataDisk = opts.NewDataDisk(id)
 		}
 		sm := dlog.NewSM(dlog.SMConfig{Hosted: hosted, Disk: dataDisk, CacheLimit: opts.CacheLimit})
+		rec := d.recorderFor(id, fmt.Sprintf("dlog%d", s))
 		nodeCfg := core.Config{
 			Self: id, Router: router, Coord: d.Svc,
 			M: opts.M, Ring: opts.Ring, Batch: opts.Batch,
+			Tracer: rec,
 		}
 		if opts.NewAcceptorLog != nil {
 			nodeCfg.NewLog = func(ring transport.RingID) (storage.Log, error) {
@@ -716,6 +784,7 @@ func (d *Deployment) StartDLog(opts DLogOptions) (*DLogCluster, error) {
 			Service:     router.Service(),
 			SM:          sm,
 			ExecWorkers: opts.ExecWorkers,
+			Tracer:      rec,
 		}, recovery.Checkpoint{})
 		if err != nil {
 			node.Stop()
@@ -723,6 +792,7 @@ func (d *Deployment) StartDLog(opts DLogOptions) (*DLogCluster, error) {
 		}
 		c.sms[id] = sm
 		c.reps[id] = rep
+		c.wireDLogObs(s, groups)
 	}
 	d.onClose(c.StopAll)
 	return c, nil

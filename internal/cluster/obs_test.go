@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"amcast/internal/netem"
+	"amcast/internal/trace"
+)
+
+// TestEndToEndTraceAndMetrics boots a live multi-ring MRP-Store cluster
+// with 100% trace sampling, performs one write, and asserts over the
+// actual HTTP surface that (a) /metrics exposes the unified catalog and
+// (b) /debug/trace/<id> assembles one cluster-wide causal timeline with
+// the full hop sequence submit → forward → wal-commit → vote → decide →
+// merge → apply.
+func TestEndToEndTraceAndMetrics(t *testing.T) {
+	d := NewDeployment(nil)
+	defer d.Close()
+	d.SetTraceSampling(1)
+	c, err := d.StartStore(StoreOptions{Partitions: 2, Replicas: 3, Global: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, raw, err := c.NewClient(netem.SiteLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	if err := sc.Insert("trace-key", []byte("trace-value")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(c.ObsMux())
+	defer srv.Close()
+
+	// Metrics: the catalog must expose replica, ring and client series.
+	metrics := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE mrp_replica_executed_total counter",
+		"# TYPE mrp_core_delivered_total counter",
+		"# TYPE mrp_ring_decided_total counter",
+		"# TYPE mrp_ring_lambda gauge",
+		"# TYPE mrp_merge_stall_seconds_total counter",
+		"# TYPE mrp_client_retransmits_total counter",
+		`mrp_replica_executed_total{process="p1r1"}`,
+		`mrp_ring_decided_total{process="p2r3",ring="2"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	// The executed write must show up as a non-zero counter somewhere.
+	if !strings.Contains(metrics, "mrp_replica_executed_total{process=\"p") {
+		t.Fatal("no executed counters exposed")
+	}
+
+	// Debug ring state.
+	var rings struct {
+		Servers []struct {
+			Process string `json:"process"`
+		} `json:"servers"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/rings")), &rings); err != nil {
+		t.Fatal(err)
+	}
+	if len(rings.Servers) != 6 {
+		t.Fatalf("/debug/rings lists %d servers, want 6", len(rings.Servers))
+	}
+
+	// Trace assembly: the write's trace must exist and carry the full
+	// causally-ordered hop sequence.
+	var list struct {
+		Traces []string `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/traces")), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) == 0 {
+		t.Fatal("no traces collected")
+	}
+
+	want := []string{"submit", "forward", "wal-commit", "vote", "decide", "merge", "apply"}
+	var best []trace.Span
+	for _, id := range list.Traces {
+		var tr struct {
+			Spans []trace.Span `json:"spans"`
+		}
+		if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/trace/"+id)), &tr); err != nil {
+			t.Fatal(err)
+		}
+		if coversAll(tr.Spans, want) {
+			best = tr.Spans
+			break
+		}
+	}
+	if best == nil {
+		t.Fatalf("no trace covers the full hop sequence %v", want)
+	}
+	if len(best) < 6 {
+		t.Fatalf("assembled trace has %d spans, want >= 6", len(best))
+	}
+	// Causal order: the root submit span leads, and every other span
+	// starts inside its duration (all recorders share one clock here).
+	if best[0].Name != "submit" || best[0].ParentID != 0 {
+		t.Fatalf("first span is %q (parent %d), want root submit", best[0].Name, best[0].ParentID)
+	}
+	rootEnd := best[0].Start.Add(best[0].Duration)
+	for _, s := range best[1:] {
+		if s.ParentID != best[0].SpanID {
+			t.Fatalf("span %q has parent %d, want root %d", s.Name, s.ParentID, best[0].SpanID)
+		}
+		if s.Start.Before(best[0].Start) || s.Start.After(rootEnd.Add(time.Second)) {
+			t.Fatalf("span %q at %v outside root window [%v, %v]", s.Name, s.Start, best[0].Start, rootEnd)
+		}
+	}
+	// Spans after the root are start-time ordered (sortCausal).
+	for i := 2; i < len(best); i++ {
+		if best[i].Start.Before(best[i-1].Start) {
+			t.Fatalf("spans out of causal order: %q before %q", best[i].Name, best[i-1].Name)
+		}
+	}
+}
+
+func coversAll(spans []trace.Span, names []string) bool {
+	seen := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		seen[s.Name] = true
+	}
+	for _, n := range names {
+		if !seen[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTraceSamplingDivisor checks the every-Nth sampling knob: at
+// divisor 3, roughly one third of submissions root a trace.
+func TestTraceSamplingDivisor(t *testing.T) {
+	d := NewDeployment(nil)
+	defer d.Close()
+	d.SetTraceSampling(3)
+	c, err := d.StartStore(StoreOptions{Partitions: 1, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, raw, err := c.NewClient(netem.SiteLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	for i := 0; i < 9; i++ {
+		if err := sc.Insert(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := d.Trace.TraceIDs(0)
+	if len(ids) != 3 {
+		t.Fatalf("divisor 3 over 9 submits rooted %d traces, want 3", len(ids))
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -49,6 +49,7 @@ import (
 	"amcast/internal/recovery"
 	"amcast/internal/ring"
 	"amcast/internal/storage"
+	"amcast/internal/trace"
 	"amcast/internal/transport"
 )
 
@@ -62,6 +63,10 @@ type Delivery struct {
 	ValueID uint64
 	// Data is the multicast payload.
 	Data []byte
+	// Trace is the sampled trace context that rode the value's frames
+	// (zero for unsampled values). Telemetry only: it never influences
+	// execution, responses or checkpoint bytes.
+	Trace trace.Context
 }
 
 // Handler consumes deliveries in merged order. It runs on the merge
@@ -164,6 +169,10 @@ type Config struct {
 	// StartCursor resumes the merge round-robin at the checkpointed
 	// position. Zero value starts a fresh merge.
 	StartCursor Cursor
+	// Tracer, when set, records distributed-tracing spans for sampled
+	// values on this process (per-value tracing, internal/trace). It is
+	// shared with every ring this node joins. Nil disables tracing.
+	Tracer *trace.Recorder
 }
 
 func (c *Config) withDefaults() Config {
@@ -329,6 +338,7 @@ func (n *Node) Join(ringID transport.RingID) error {
 		BatchBytes:          n.cfg.Ring.BatchBytes,
 		StartInstance:       n.cfg.StartVector[ringID] + 1,
 		CommitFailureBudget: n.cfg.Ring.CommitFailureBudget,
+		Tracer:              n.cfg.Tracer,
 	})
 	if err != nil {
 		return err
@@ -699,6 +709,7 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 						ValueID:  iv.Value.ID,
 						Data:     iv.Value.Data,
 					})
+					n.traceDelivery(srcs[i].rn, &batch[len(batch)-1])
 					batchBytes += len(iv.Value.Data)
 					if pending != nil && iv.Value.ID == pending.marker {
 						hitMarker = true
@@ -714,6 +725,7 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 					ValueID:  d.Value.ID,
 					Data:     d.Value.Data,
 				})
+				n.traceDelivery(srcs[i].rn, &batch[len(batch)-1])
 				batchBytes += len(d.Value.Data)
 				if pending != nil && d.Value.ID == pending.marker {
 					hitMarker = true
@@ -747,6 +759,23 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 			}
 		}
 	}
+}
+
+// traceDelivery stamps an unpacked delivery with the sampled trace
+// context its ring saw for the value id (if any) and records the
+// "merge" hop: the instant the deterministic merge emitted the value
+// into the globally ordered stream. Runs on the merge goroutine;
+// telemetry only — the context never feeds delivered state.
+func (n *Node) traceDelivery(rn *ring.Node, d *Delivery) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	ctx, ok := rn.TraceContextOf(d.ValueID)
+	if !ok {
+		return
+	}
+	d.Trace = ctx
+	n.cfg.Tracer.Add(ctx, "merge", uint32(d.Group), d.Instance, d.ValueID, time.Now(), 0) //lint:allow determinism trace telemetry only: the span timestamp feeds the trace recorder, never delivered state
 }
 
 // switchSubscription applies an armed epoch transition at the marker
@@ -1133,9 +1162,16 @@ func (n *Node) Multicast(group transport.RingID, data []byte) error {
 
 // MulticastValue multicasts data with a caller-chosen value id (0 picks a
 // fresh one). Reconfiguration markers need a pre-agreed id: learners arm
-// PrepareResubscribe with it before the value is proposed, and retries
+// PrepareResubscribe with it before the value is multicast, and retries
 // reuse the same id so a retransmitted marker cannot trigger two epochs.
 func (n *Node) MulticastValue(group transport.RingID, id uint64, data []byte) error {
+	return n.MulticastValueTraced(group, id, data, trace.Context{})
+}
+
+// MulticastValueTraced is MulticastValue with a trace context: when ctx
+// is sampled the proposal frame carries it as an optional trailing
+// header, so every hop of the value's journey records spans under it.
+func (n *Node) MulticastValueTraced(group transport.RingID, id uint64, data []byte, ctx trace.Context) error {
 	select {
 	case <-n.done:
 		return ErrStopped
@@ -1149,7 +1185,7 @@ func (n *Node) MulticastValue(group transport.RingID, id uint64, data []byte) er
 	rn := n.rings[group]
 	n.mu.Unlock()
 	if rn != nil {
-		return rn.ProposeValue(v)
+		return rn.ProposeValueTraced(v, ctx)
 	}
 	rc, ok := n.coord.Ring(group)
 	if !ok {
@@ -1158,14 +1194,19 @@ func (n *Node) MulticastValue(group transport.RingID, id uint64, data []byte) er
 	if rc.Coordinator == 0 {
 		return ring.ErrNoCoordinator
 	}
-	return n.tr.Send(rc.Coordinator, transport.Message{
+	m := transport.Message{
 		Kind:  transport.KindProposal,
 		Ring:  group,
 		Value: v,
 		// Seq carries the original proposer so admission-control replies
 		// survive proposal forwarding (see ring.ProposeValue).
 		Seq: uint64(n.id),
-	})
+	}
+	if n.cfg.Tracer != nil && ctx.Sampled() {
+		m.Traces = append(m.Traces, transport.TraceRef{ValueID: id, Ctx: ctx})
+		n.cfg.Tracer.Add(ctx, "forward", uint32(group), 0, id, time.Now(), 0)
+	}
+	return n.tr.Send(rc.Coordinator, m)
 }
 
 // MarkerID returns a fresh proposer-unique value id suitable for

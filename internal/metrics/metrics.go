@@ -14,14 +14,19 @@ import (
 )
 
 // Histogram records durations in logarithmic buckets (HdrHistogram-style:
-// ~5% relative precision) with lock-protected concurrent recording.
+// ~5% relative precision). Recording is lock-free — one atomic add per
+// bucket plus atomic total/sum and CAS-raced min/max — so it can sit on
+// concurrent hot paths (every traced request, every merge stall) without
+// a global mutex serializing recorders. Readers observe a possibly
+// slightly torn view under concurrent recording (each counter is
+// individually consistent); quantiles clamp accordingly, which is the
+// standard telemetry trade.
 type Histogram struct {
-	mu     sync.Mutex
-	counts []uint64
-	total  uint64
-	sum    time.Duration
-	min    time.Duration
-	max    time.Duration
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; MaxInt64 when empty
+	max    atomic.Int64 // nanoseconds
 }
 
 // bucketCount covers 1µs..~17min with 64 buckets per octave step below.
@@ -35,7 +40,9 @@ const (
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+	h := &Histogram{counts: make([]atomic.Uint64, histBuckets)}
+	h.min.Store(math.MaxInt64)
+	return h
 }
 
 func bucketOf(d time.Duration) int {
@@ -56,74 +63,71 @@ func bucketValue(b int) time.Duration {
 	return time.Duration(histBase * math.Pow(histGrowth, float64(b)+0.5))
 }
 
-// Record adds one sample.
+// Record adds one sample. Lock-free: safe for any number of concurrent
+// recorders.
 func (h *Histogram) Record(d time.Duration) {
-	h.mu.Lock()
-	h.counts[bucketOf(d)]++
-	h.total++
-	h.sum += d
-	if d < h.min {
-		h.min = d
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
-	h.mu.Unlock()
 }
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
+	return h.total.Load()
 }
 
 // Mean returns the average sample.
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.total)
+	return time.Duration(h.sum.Load()) / time.Duration(total)
 }
 
 // Min returns the smallest sample (0 if empty).
 func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	if h.total.Load() == 0 {
 		return 0
 	}
-	return h.min
+	return time.Duration(h.min.Load())
 }
 
 // Max returns the largest sample.
 func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
+	return time.Duration(h.max.Load())
 }
 
 // Quantile returns the q-quantile (0 < q <= 1), e.g. 0.5 for the median.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.total))
-	if target >= h.total {
-		target = h.total - 1
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
 	}
 	var cum uint64
-	for b, c := range h.counts {
-		cum += c
+	for b := range h.counts {
+		cum += h.counts[b].Load()
 		if cum > target {
 			return bucketValue(b)
 		}
 	}
-	return h.max
+	return h.Max()
 }
 
 // CDFPoint is one point of a cumulative distribution.
@@ -135,22 +139,22 @@ type CDFPoint struct {
 // CDF extracts up to n evenly spaced points of the latency CDF, as plotted
 // in the paper's latency CDF graphs (Figures 3, 6 and 7).
 func (h *Histogram) CDF(n int) []CDFPoint {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 || n <= 0 {
+	total := h.total.Load()
+	if total == 0 || n <= 0 {
 		return nil
 	}
 	var out []CDFPoint
 	var cum uint64
 	step := 1.0 / float64(n)
 	next := step
-	for b, c := range h.counts {
+	for b := range h.counts {
+		c := h.counts[b].Load()
 		if c == 0 {
 			continue
 		}
 		cum += c
-		frac := float64(cum) / float64(h.total)
-		if frac >= next || cum == h.total {
+		frac := float64(cum) / float64(total)
+		if frac >= next || cum >= total {
 			out = append(out, CDFPoint{Latency: bucketValue(b), Fraction: frac})
 			for next <= frac {
 				next += step

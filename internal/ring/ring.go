@@ -36,6 +36,7 @@ import (
 	"amcast/internal/coord"
 	"amcast/internal/metrics"
 	"amcast/internal/storage"
+	"amcast/internal/trace"
 	"amcast/internal/transport"
 )
 
@@ -113,6 +114,11 @@ type Config struct {
 	// instance, skipping everything below. Replica recovery uses it to
 	// resume after an installed checkpoint (Section 5.2).
 	StartInstance uint64
+
+	// Tracer, when set, records distributed-tracing spans for values
+	// whose frames carry a sampled trace context (internal/trace). Nil
+	// disables all trace accounting on this node at zero cost.
+	Tracer *trace.Recorder
 
 	// CommitFailureBudget bounds consecutive failed group commits before
 	// the acceptor steps out loudly: it marks itself down in the
@@ -288,6 +294,14 @@ type Node struct {
 	walGauge  metrics.BatchGauge
 	sendGauge metrics.BatchGauge
 
+	// Tracing (telemetry-only): tracer records spans, tags parks the
+	// sampled contexts riding incoming frames keyed by value id, and
+	// stagedTraces (run-loop owned) queues wal-commit spans for the
+	// burst currently staged for group commit.
+	tracer       *trace.Recorder
+	tags         *traceTags
+	stagedTraces []stagedTrace
+
 	safeResps map[transport.ProcessID]uint64
 	lastTrim  uint64
 
@@ -339,6 +353,10 @@ func New(cfg Config) (*Node, error) {
 		safeResps:    make(map[transport.ProcessID]uint64),
 		done:         make(chan struct{}),
 		loopDone:     make(chan struct{}),
+		tracer:       cfg.Tracer,
+	}
+	if n.tracer != nil {
+		n.tags = newTraceTags()
 	}
 	n.dcond = sync.NewCond(&n.dmu)
 	n.pacer = newSkipPacer(cfg)
@@ -457,6 +475,14 @@ func (n *Node) Propose(data []byte) error {
 // every learner before the value is proposed, so the proposer cannot let
 // the ring assign one.
 func (n *Node) ProposeValue(v transport.Value) error {
+	return n.ProposeValueTraced(v, trace.Context{})
+}
+
+// ProposeValueTraced is ProposeValue with a trace context: when ctx is
+// sampled the proposal frame carries it as an optional trailing header
+// and this node records the "forward" hop (the client-side send of the
+// value toward the ring's coordinator).
+func (n *Node) ProposeValueTraced(v transport.Value, ctx trace.Context) error {
 	select {
 	case <-n.done:
 		return ErrStopped
@@ -468,7 +494,7 @@ func (n *Node) ProposeValue(v transport.Value) error {
 	if coordID == 0 {
 		return ErrNoCoordinator
 	}
-	return n.tr.Send(coordID, transport.Message{
+	m := transport.Message{
 		Kind:  transport.KindProposal,
 		Ring:  n.ring,
 		Value: v,
@@ -477,7 +503,13 @@ func (n *Node) ProposeValue(v transport.Value) error {
 		// would otherwise have its admission-control reply (Overloaded)
 		// routed to the forwarder instead of the client.
 		Seq: uint64(n.id),
-	})
+	}
+	if n.tracer != nil && ctx.Sampled() {
+		n.tags.put(v.ID, ctx)
+		m.Traces = append(m.Traces, transport.TraceRef{ValueID: v.ID, Ctx: ctx})
+		n.tracer.Add(ctx, "forward", uint32(n.ring), 0, v.ID, time.Now(), 0)
+	}
+	return n.tr.Send(coordID, m)
 }
 
 // Stats reports instance counters (decided includes skipped).

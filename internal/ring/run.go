@@ -123,6 +123,13 @@ func (n *Node) run() {
 //lint:release
 func (n *Node) commitStaged() {
 	if len(n.walBatch) > 0 {
+		// Time the group commit only when a traced vote is staged: the
+		// wal-commit span names the PutBatch (and its fsync) the sampled
+		// value waited on.
+		var walStart time.Time
+		if len(n.stagedTraces) > 0 {
+			walStart = time.Now()
+		}
 		if err := n.cfg.Log.PutBatch(n.walBatch); err != nil {
 			// Durability failed. Drop the staged sends — un-logged votes
 			// must not circulate — but KEEP the staged records: the
@@ -159,6 +166,13 @@ func (n *Node) commitStaged() {
 			n.cfg.Coord.MarkUp(n.id)
 		}
 		n.walGauge.Observe(len(n.walBatch))
+		if !walStart.IsZero() {
+			d := time.Since(walStart)
+			for _, st := range n.stagedTraces {
+				n.tracer.Add(st.ctx, "wal-commit", uint32(n.ring), st.inst, st.id, walStart, d)
+			}
+		}
+		n.stagedTraces = n.stagedTraces[:0]
 		for i := range n.walBatch {
 			n.walBatch[i] = storage.Record{} // release record buffers
 		}
@@ -250,6 +264,7 @@ func (n *Node) becomeCoordinator(ballot uint32) {
 
 // handle dispatches one protocol message.
 func (n *Node) handle(m transport.Message) {
+	n.ingestTraces(&m)
 	switch m.Kind {
 	case transport.KindProposal:
 		n.handleProposal(m)
@@ -294,6 +309,10 @@ func (n *Node) handleProposal(m transport.Message) {
 		coordID := n.rc.Coordinator
 		n.mu.Unlock()
 		if coordID != 0 && coordID != n.id {
+			// Forwarded verbatim: m keeps its decoded Traces, so the
+			// sampled context survives this hop (the transport restamps
+			// From, never the optional trailing headers).
+			n.spanNow("forward", 0, m.Value)
 			n.send(coordID, m)
 		}
 		return
@@ -404,6 +423,8 @@ func (n *Node) proposeValue(v transport.Value) {
 // commits (group commit) before any message of this burst leaves the node.
 func (n *Node) recordVote(ballot uint32, inst uint64, v transport.Value) {
 	n.stagePut(inst, encodeAccept(ballot, inst, v))
+	n.spanNow("vote", inst, v)
+	n.traceStagedVote(inst, v)
 	if _, ok := n.accepted[inst]; !ok {
 		n.acceptedInsert(inst)
 	}
@@ -445,6 +466,7 @@ func (n *Node) sendPhase2(inst uint64, v transport.Value) {
 		Votes:    1,
 		Value:    v,
 	}
+	n.attachTraces(&m)
 	n.mu.Lock()
 	majority := n.rc.Majority()
 	n.mu.Unlock()
@@ -573,15 +595,18 @@ func (n *Node) handlePhase2(m transport.Message) {
 // decide converts an instance into a Decision originating at this process
 // and applies it locally.
 func (n *Node) decide(inst uint64, v transport.Value, origin transport.ProcessID) {
+	n.spanNow("decide", inst, v)
 	n.learnDecision(inst, v)
 	if n.succ != 0 {
-		n.send(n.succ, transport.Message{
+		m := transport.Message{
 			Kind:     transport.KindDecision,
 			Ring:     n.ring,
 			Instance: inst,
 			Value:    v,
 			Seq:      uint64(origin),
-		})
+		}
+		n.attachTraces(&m)
+		n.send(n.succ, m)
 	}
 }
 
@@ -750,7 +775,7 @@ func (n *Node) handleRetransmitReq(m transport.Message) {
 		}
 		return
 	}
-	n.send(m.From, transport.Message{
+	resp := transport.Message{
 		Kind: transport.KindRetransmitResp,
 		Ring: n.ring,
 		// Echo the request start so the receiver can correlate the
@@ -759,7 +784,11 @@ func (n *Node) handleRetransmitReq(m transport.Message) {
 		// responses).
 		Instance: m.Instance,
 		Payload:  transport.EncodeBatch(batch),
-	})
+	}
+	// Re-attach parked trace contexts so a traced value replayed through
+	// catch-up still stamps its downstream merge/apply spans.
+	n.attachBatchTraces(&resp, batch)
+	n.send(m.From, resp)
 }
 
 // retransmitUnavailable in RetransmitResp.Count flags an empty reply for

@@ -12,6 +12,7 @@ import (
 	"amcast/internal/core"
 	"amcast/internal/recovery"
 	"amcast/internal/ring"
+	"amcast/internal/trace"
 	"amcast/internal/transport"
 )
 
@@ -22,10 +23,11 @@ import (
 // at least one response from every involved partition. Responses travel
 // outside the multicast layer (the paper uses UDP; here, the transport).
 type Client struct {
-	id   transport.ProcessID
-	node *core.Node
-	tr   transport.Transport
-	svc  *coord.Service // optional: enables re-route on re-election
+	id     transport.ProcessID
+	node   *core.Node
+	tr     transport.Transport
+	svc    *coord.Service  // optional: enables re-route on re-election
+	tracer *trace.Recorder // optional: roots a trace at every sampled submit
 
 	mu      sync.Mutex
 	waiters map[uint64]*waiter
@@ -101,6 +103,10 @@ type ClientConfig struct {
 	// (watch-driven, jittered), and ErrNoCoordinator windows are retried
 	// instead of surfaced to the caller.
 	Coord *coord.Service
+	// Tracer, when set, stamps a trace context on sampled submissions
+	// (per the recorder's sampling divisor) and records the root
+	// "submit" span covering submit-to-reply latency.
+	Tracer *trace.Recorder
 }
 
 // NewClient starts a client.
@@ -113,6 +119,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		node:      cfg.Node,
 		tr:        cfg.Transport,
 		svc:       cfg.Coord,
+		tracer:    cfg.Tracer,
 		waiters:   make(map[uint64]*waiter),
 		byValue:   make(map[uint64]uint64),
 		observed:  make(recovery.Vector),
@@ -209,10 +216,19 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 
 	cmd := Command{Client: c.id, Seq: seq, Op: op}
 	payload := cmd.Encode()
+	// Sampled submissions carry a trace context on every multicast frame
+	// (retransmissions included — they reuse the value id, so their spans
+	// join the same trace); the root "submit" span is recorded when the
+	// reply arrives.
+	tctx := c.tracer.StartRoot()
+	var tstart time.Time
+	if tctx.Sampled() {
+		tstart = time.Now()
+	}
 	noCoord := 0
 	send := func() error {
 		for _, g := range groups {
-			if err := c.node.MulticastValue(g, valueID, payload); err != nil {
+			if err := c.node.MulticastValueTraced(g, valueID, payload, tctx); err != nil {
 				if errors.Is(err, ring.ErrNoCoordinator) && c.svc != nil {
 					// Failover window: the group has no coordinator
 					// right now. The config watcher below re-sends the
@@ -290,6 +306,17 @@ func (c *Client) submit(groups []transport.RingID, op []byte, accept []transport
 	for {
 		select {
 		case resps := <-w.ch:
+			if tctx.Sampled() {
+				c.tracer.Record(trace.Span{
+					TraceID:  tctx.TraceID,
+					SpanID:   tctx.SpanID, // root: children parent on it
+					Name:     "submit",
+					Ring:     uint32(groups[0]),
+					ValueID:  valueID,
+					Start:    tstart,
+					Duration: time.Since(tstart),
+				})
+			}
 			return resps, nil
 		case d := <-w.overload:
 			overloaded++

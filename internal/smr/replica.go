@@ -12,6 +12,7 @@ import (
 	"amcast/internal/core"
 	"amcast/internal/metrics"
 	"amcast/internal/recovery"
+	"amcast/internal/trace"
 	"amcast/internal/transport"
 )
 
@@ -122,6 +123,10 @@ type ReplicaConfig struct {
 	// negative value sizes the pool to GOMAXPROCS. Results, state and
 	// checkpoints are byte-identical either way.
 	ExecWorkers int
+	// Tracer, when set, records "apply" spans for sampled deliveries and
+	// rides the trace context back on the client response frame. Purely
+	// telemetry; never feeds replicated state.
+	Tracer *trace.Recorder
 }
 
 // Replica drives a replicated state machine: it subscribes to the
@@ -715,7 +720,16 @@ func (r *Replica) deliverBatch(ds []core.Delivery) {
 		r.runOps = append(r.runOps, cmd.Op)
 		r.runWins = append(r.runWins, w)
 		r.runSeqs = append(r.runSeqs, cmd.Seq)
-		r.runResp = append(r.runResp, r.appendResp(cmd, d.Group, nil))
+		idx := r.appendResp(cmd, d.Group, nil)
+		r.runResp = append(r.runResp, idx)
+		if r.cfg.Tracer != nil && d.Trace.Sampled() {
+			r.cfg.Tracer.Add(d.Trace, "apply", uint32(d.Group), d.Instance, d.ValueID, time.Now(), 0) //lint:allow determinism trace telemetry only: the span timestamp feeds the trace recorder, never replicated state
+			if idx >= 0 {
+				// Ride the context back on the reply frame so the trace
+				// spans the full round trip on the wire as well.
+				r.respBuf[idx].Traces = []transport.TraceRef{{ValueID: d.ValueID, Ctx: d.Trace}}
+			}
+		}
 	}
 	executed += r.flushRun()
 	r.executed += uint64(executed)

@@ -14,6 +14,7 @@ import (
 	"amcast/internal/recovery"
 	"amcast/internal/smr"
 	"amcast/internal/storage"
+	"amcast/internal/trace"
 	"amcast/internal/transport"
 )
 
@@ -547,6 +548,9 @@ type ServerConfig struct {
 	// applies sequentially, >= 2 uses that many workers, negative uses
 	// GOMAXPROCS (see smr.ReplicaConfig.ExecWorkers).
 	ExecWorkers int
+	// Tracer, when set, records this process's spans for distributed
+	// tracing (telemetry only).
+	Tracer *trace.Recorder
 }
 
 // Server is one MRP-Store replica: it loads the schema, recovers, joins
@@ -580,6 +584,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			M:              cfg.M,
 			Ring:           cfg.Ring,
 			Batch:          cfg.Batch,
+			Tracer:         cfg.Tracer,
 			LambdaOverride: globalLambdaOverride(schema.GlobalGroup, cfg.GlobalLambda),
 		},
 		Store:   cfg.Checkpoints,
@@ -612,6 +617,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		SyncCheckpoints: cfg.SyncCheckpoints,
 		ServiceHook:     rangeTransferHook(sm, tr),
 		ExecWorkers:     cfg.ExecWorkers,
+		Tracer:          cfg.Tracer,
 	}, built.Checkpoint)
 	if err != nil {
 		built.Node.Stop()

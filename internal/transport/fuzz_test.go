@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"testing"
+
+	"amcast/internal/trace"
 )
 
 // FuzzFrameDecode hammers the wire-format message decoder: DecodeMessage
@@ -33,6 +35,15 @@ func FuzzFrameDecode(f *testing.F) {
 		{Instance: 2, Value: Value{ID: 2, Skip: true, Count: 3}},
 	})
 	f.Add(batched.Encode())
+	traced := seed
+	traced.Traces = []TraceRef{{ValueID: 5, Ctx: trace.Context{TraceID: 11, SpanID: 12, Flags: trace.FlagSampled}}}
+	f.Add(traced.Encode())
+	// Forward compatibility: an UNKNOWN optional trailing header (type
+	// 0x7f) on an otherwise valid frame must be skipped, not rejected,
+	// and headers after it must still parse.
+	unknown := append(seed.Encode(), 0x7f, 4, 0, 0xde, 0xad, 0xbe, 0xef)
+	unknown = append(unknown, traced.Encode()[len(seed.Encode()):]...) // trace header after the unknown one
+	f.Add(unknown)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMessage(data)
@@ -80,6 +91,14 @@ func FuzzFrameDecode(f *testing.F) {
 }
 
 func messagesEqual(a, b Message) bool {
+	if len(a.Traces) != len(b.Traces) {
+		return false
+	}
+	for i := range a.Traces {
+		if a.Traces[i] != b.Traces[i] {
+			return false
+		}
+	}
 	return a.Kind == b.Kind && a.From == b.From && a.To == b.To &&
 		a.Ring == b.Ring && a.Ballot == b.Ballot && a.Instance == b.Instance &&
 		a.Votes == b.Votes && a.Count == b.Count && a.Seq == b.Seq &&

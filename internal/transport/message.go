@@ -19,6 +19,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"amcast/internal/trace"
 )
 
 // ProcessID identifies a process in the system (Π = {p1, p2, ...}).
@@ -207,6 +209,14 @@ func MakeValueID(p ProcessID, seq uint32) uint64 {
 	return uint64(p)<<32 | uint64(seq)
 }
 
+// TraceRef binds a trace context to one value id carried by a message.
+// A message whose Value packs several proposals (message packing) may
+// carry one ref per sampled inner value.
+type TraceRef struct {
+	ValueID uint64
+	Ctx     trace.Context
+}
+
 // Message is the single wire envelope for all protocols. Field meaning
 // depends on Kind; unused fields are zero and cost little on the wire.
 type Message struct {
@@ -221,13 +231,44 @@ type Message struct {
 	Seq      uint64    // request id for client/recovery RPC matching
 	Value    Value     // consensus value
 	Payload  []byte    // auxiliary bytes (snapshots, batches)
+	// Traces carries sampled trace contexts for the value ids on this
+	// message. It rides the wire as an OPTIONAL trailing header after
+	// Payload: decoders that predate it ignore trailing bytes, and this
+	// decoder skips unknown optional header types, so mixed-version
+	// rings interoperate (forward and backward compatible).
+	Traces []TraceRef
 }
 
 const msgFixedHeader = 1 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 8 // through Seq
 
+// Optional trailing headers: after Payload a message may carry a
+// sequence of (type byte, uint16 length, body) extensions. Unknown
+// types are skipped; malformed trailing bytes are ignored (they are
+// indistinguishable from a pre-extension peer's padding).
+const (
+	extTypeTrace    = 0x01
+	extHeaderSize   = 1 + 2                // type + length
+	traceRefSize    = 8 + 8 + 8 + 1        // value id, trace id, span id, flags
+	maxTraceRefsEnc = 65535 / traceRefSize // uint16 length cap per header
+)
+
+// encodedTraceCount caps the refs that fit one optional header. In
+// practice a message carries a handful; the cap only guards the uint16.
+func (m *Message) encodedTraceCount() int {
+	n := len(m.Traces)
+	if n > maxTraceRefsEnc {
+		n = maxTraceRefsEnc
+	}
+	return n
+}
+
 // EncodedSize returns the exact encoding length of m.
 func (m *Message) EncodedSize() int {
-	return msgFixedHeader + 8 + 1 + 4 + 4 + len(m.Value.Data) + 4 + len(m.Payload)
+	n := msgFixedHeader + 8 + 1 + 4 + 4 + len(m.Value.Data) + 4 + len(m.Payload)
+	if tc := m.encodedTraceCount(); tc > 0 {
+		n += extHeaderSize + tc*traceRefSize
+	}
+	return n
 }
 
 // AppendEncode appends the binary encoding of m to buf and returns the
@@ -264,6 +305,20 @@ func (m *Message) AppendEncode(buf []byte) []byte {
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(m.Payload)))
 	buf = append(buf, tmp[:4]...)
 	buf = append(buf, m.Payload...)
+	if tc := m.encodedTraceCount(); tc > 0 {
+		buf = append(buf, extTypeTrace)
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(tc*traceRefSize))
+		buf = append(buf, tmp[:2]...)
+		for _, tr := range m.Traces[:tc] {
+			binary.LittleEndian.PutUint64(tmp[:8], tr.ValueID)
+			buf = append(buf, tmp[:8]...)
+			binary.LittleEndian.PutUint64(tmp[:8], tr.Ctx.TraceID)
+			buf = append(buf, tmp[:8]...)
+			binary.LittleEndian.PutUint64(tmp[:8], tr.Ctx.SpanID)
+			buf = append(buf, tmp[:8]...)
+			buf = append(buf, tr.Ctx.Flags)
+		}
+	}
 	return buf
 }
 
@@ -316,7 +371,45 @@ func DecodeMessage(buf []byte) (Message, error) {
 	if payLen > 0 {
 		m.Payload = rest[:payLen]
 	}
+	rest = rest[payLen:]
+	// Optional trailing headers. Unknown types are skipped (forward
+	// compatibility: a newer peer's extension must not reject an
+	// otherwise valid frame) and malformed trailers are ignored rather
+	// than rejected — old decoders never looked past Payload at all.
+	for len(rest) >= extHeaderSize {
+		typ := rest[0]
+		bodyLen := int(binary.LittleEndian.Uint16(rest[1:3]))
+		if len(rest) < extHeaderSize+bodyLen {
+			break // truncated trailer: ignore
+		}
+		body := rest[extHeaderSize : extHeaderSize+bodyLen]
+		rest = rest[extHeaderSize+bodyLen:]
+		if typ != extTypeTrace || bodyLen%traceRefSize != 0 {
+			continue // unknown or malformed extension: skip it
+		}
+		for len(body) >= traceRefSize && len(m.Traces) < maxTraceRefsEnc {
+			m.Traces = append(m.Traces, TraceRef{
+				ValueID: binary.LittleEndian.Uint64(body[:8]),
+				Ctx: trace.Context{
+					TraceID: binary.LittleEndian.Uint64(body[8:16]),
+					SpanID:  binary.LittleEndian.Uint64(body[16:24]),
+					Flags:   body[24],
+				},
+			})
+			body = body[traceRefSize:]
+		}
+	}
 	return m, nil
+}
+
+// TraceFor returns the trace context attached for a value id, if any.
+func (m *Message) TraceFor(id uint64) (trace.Context, bool) {
+	for _, tr := range m.Traces {
+		if tr.ValueID == id {
+			return tr.Ctx, true
+		}
+	}
+	return trace.Context{}, false
 }
 
 // InstanceValue pairs a decided instance with its value; used in
