@@ -1,9 +1,7 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"amcast/internal/chaos"
@@ -35,11 +33,7 @@ type ChaosResult struct {
 
 // WriteJSON writes the result snapshot (for the CI trajectory).
 func (r ChaosResult) WriteJSON(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return writeResultJSON(path, r)
 }
 
 // ChaosBench runs the four chaos campaigns back to back under live

@@ -2,9 +2,7 @@ package bench
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 	"time"
 
@@ -129,11 +127,7 @@ func DeliveryBench(o Options) (DeliveryResult, error) {
 
 // WriteJSON writes the result snapshot (for the CI trajectory).
 func (r DeliveryResult) WriteJSON(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return writeResultJSON(path, r)
 }
 
 // deliveryRun measures one mode. The network is the zero-delay in-process

@@ -1,9 +1,7 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,11 +68,7 @@ type ExecResult struct {
 
 // WriteJSON writes the result snapshot (for the CI trajectory).
 func (r ExecResult) WriteJSON(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return writeResultJSON(path, r)
 }
 
 const (

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
@@ -112,11 +111,7 @@ func IOBench(o Options) (IOResult, error) {
 
 // WriteJSON writes the result snapshot (for the CI trajectory).
 func (r IOResult) WriteJSON(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return writeResultJSON(path, r)
 }
 
 // ioWALRun drives one FileWAL for o.Duration, per-put or batched.

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// Meta is the uniform run-environment stamp carried by every BENCH_*.json
+// snapshot: without it a CI trajectory cannot distinguish a regression
+// from a host or toolchain change.
+type Meta struct {
+	// Commit is the VCS revision the binary was built from (empty when
+	// built outside a checkout or without VCS stamping).
+	Commit string `json:"commit,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty     bool   `json:"dirty,omitempty"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the parallelism the run actually had.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GOGC is the collector target as configured ("100" when unset):
+	// memory benchmarks are meaningless without it.
+	GOGC string `json:"gogc"`
+}
+
+// runMeta snapshots the environment of this benchmark process.
+func runMeta() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOGC:       os.Getenv("GOGC"),
+	}
+	if m.GOGC == "" {
+		m.GOGC = "100"
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Commit = s.Value
+			case "vcs.modified":
+				m.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// writeResultJSON snapshots one benchmark result to path with the uniform
+// run metadata stamped in under "meta". Every result's WriteJSON funnels
+// through here so no snapshot ships unstamped.
+func writeResultJSON(path string, r any) error {
+	buf, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	doc := make(map[string]any)
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return err
+	}
+	doc["meta"] = runMeta()
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

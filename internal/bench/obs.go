@@ -1,9 +1,7 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,11 +106,7 @@ func ObsBench(o Options) (ObsResult, error) {
 
 // WriteJSON writes the result snapshot (for the CI trajectory).
 func (r ObsResult) WriteJSON(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return writeResultJSON(path, r)
 }
 
 // obsRun boots one deployment at the given trace divisor and drives the

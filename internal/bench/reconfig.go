@@ -1,9 +1,7 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,11 +68,7 @@ type ReconfigResult struct {
 
 // WriteJSON writes the result snapshot (for the CI trajectory).
 func (r ReconfigResult) WriteJSON(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return writeResultJSON(path, r)
 }
 
 const (

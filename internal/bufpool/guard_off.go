@@ -1,0 +1,9 @@
+//go:build !race && !bufpooldebug
+
+package bufpool
+
+// Unguarded builds skip the recycle-time memory poisoning; the
+// refcount misuse panics remain active. See guard_on.go.
+const guarded = false
+
+func guardPoison([]byte) {}

@@ -1,0 +1,17 @@
+//go:build race || bufpooldebug
+
+package bufpool
+
+// Guarded builds (`-race` or the bufpooldebug tag) poison recycled
+// buffers so a holder that kept a slice past its final Release reads
+// 0xDB garbage instead of silently observing the next frame's bytes.
+// The refcount misuse panics (double release, retain-after-free) are
+// always on — only the memory poisoning is gated, because filling a
+// megabyte class on every recycle is too slow for the hot path.
+const guarded = true
+
+func guardPoison(p []byte) {
+	for i := range p {
+		p[i] = 0xDB
+	}
+}

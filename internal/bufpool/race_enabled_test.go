@@ -1,0 +1,7 @@
+//go:build race
+
+package bufpool
+
+// raceEnabled lets allocation-sensitive tests skip under the race
+// detector, whose instrumentation inflates alloc counts.
+const raceEnabled = true

@@ -77,6 +77,10 @@ func NewDeployment(topo *netem.Topology) *Deployment {
 		Trace: trace.NewCollector(),
 		recs:  make(map[transport.ProcessID]*trace.Recorder),
 	}
+	// Process-wide GC/heap gauges and buffer-pool counters ride in every
+	// deployment registry: memory pressure is part of the protocol story.
+	obs.RegisterRuntime(d.Obs)
+	obs.RegisterBufPool(d.Obs)
 	d.nextClient.Store(20000)
 	return d
 }

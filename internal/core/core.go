@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"amcast/internal/bufpool"
 	"amcast/internal/coord"
 	"amcast/internal/metrics"
 	"amcast/internal/recovery"
@@ -75,8 +76,12 @@ type Handler func(Delivery)
 
 // BatchHandler consumes batches of deliveries in merged order. It runs on
 // the merge goroutine; blocking it back-pressures the whole subscription.
-// The slice is reused between calls — handlers must not retain it (the
-// payload bytes may be retained).
+// The slice is reused between calls — handlers must not retain it. On
+// pooled transports (TCP) the payload bytes are backed by refcounted pool
+// buffers that recycle after the handler returns, so handlers must also
+// not retain Data: anything kept past the call (applied state, queued
+// replies) must be copied. smr.Replica applies and replies synchronously
+// inside the handler, so the contract holds there by construction.
 type BatchHandler func([]Delivery)
 
 // BatchOptions bounds the delivery batches handed to batch subscribers.
@@ -149,7 +154,11 @@ type Config struct {
 	// NewLog builds the stable log for each ring this process accepts
 	// in. Figure 6 attaches one disk per ring through this hook.
 	// Defaults to in-memory logs. An error fails the Join — durability
-	// requested but unavailable must not degrade silently.
+	// requested but unavailable must not degrade silently. Deployments
+	// that close their logs on shutdown can return
+	// storage.NewPooledMemLog() here to recycle vote-record storage
+	// instead of growing the heap (the core never closes logs itself —
+	// they may be retained across restarts for recovery).
 	NewLog func(transport.RingID) (storage.Log, error)
 	// M is the deterministic-merge quota: consensus instances delivered
 	// per ring per round-robin turn. The paper uses M=1.
@@ -609,6 +618,20 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 	batchBytes := 0
 	high := make([]uint64, len(groups)) // delivered marks pending publication
 
+	// held pins the pooled buffers backing the batch's payload aliases:
+	// a ring batch can recycle (ringSource.recycle) before this batch is
+	// emitted, so the merge takes one reference per consumed delivery and
+	// drops them only after the handler has run.
+	var held []*bufpool.Buf
+	releaseHeld := func() {
+		for idx, b := range held {
+			b.Release()
+			held[idx] = nil
+		}
+		held = held[:0]
+	}
+	defer releaseHeld()
+
 	// emit hands the accumulated batch to the handler (after the vector
 	// and cursor were published by the caller).
 	emit := func() {
@@ -621,6 +644,8 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 			batch = batch[:0]
 			batchBytes = 0
 		}
+		// No batch entry aliases pooled bytes anymore.
+		releaseHeld()
 	}
 	// publish writes the delivered high-water marks under the node lock;
 	// the caller extends the same critical section with cursor (and, on a
@@ -677,6 +702,10 @@ func (n *Node) merge(groups []transport.RingID, srcs []*ringSource, handler Batc
 				n.observeMergeStall(srcs[i], groups[i], time.Since(waitStart)) //lint:allow determinism stall telemetry only: the wait duration feeds metrics and the adaptive-λ signal, never delivered state
 			}
 			d := srcs[i].next()
+			if d.Value.Buf != nil {
+				d.Value.Buf.Retain()
+				held = append(held, d.Value.Buf)
+			}
 			span := d.Value.Span()
 			if span >= cur.Remaining {
 				cur.Credits[i] += span - cur.Remaining

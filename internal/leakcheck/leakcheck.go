@@ -18,6 +18,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"amcast/internal/bufpool"
 )
 
 // benign matches goroutine stacks that are part of the test harness or
@@ -47,7 +49,32 @@ func Main(m *testing.M) {
 		fmt.Fprintf(os.Stderr, "leakcheck: goroutines leaked after tests:\n\n%s\n", leaked)
 		os.Exit(1)
 	}
+	if n := CheckBuffers(5 * time.Second); n != 0 {
+		fmt.Fprintf(os.Stderr, "leakcheck: %d pool buffers still outstanding after tests (missing Release)\n", n)
+		os.Exit(1)
+	}
 	os.Exit(0)
+}
+
+// CheckBuffers polls until the process-wide buffer pool reports zero
+// outstanding buffers or the deadline passes, returning the final count.
+// Every bufpool.Get/Copy must be balanced by a final Release by the time
+// the owning component stops; a nonzero count at test exit is a refcount
+// leak on the pooled delivery path.
+func CheckBuffers(deadline time.Duration) int64 {
+	delay := 1 * time.Millisecond
+	for end := time.Now().Add(deadline); ; {
+		n := bufpool.Outstanding()
+		if n == 0 || time.Now().After(end) {
+			return n
+		}
+		// Release can trail a Stop by a scheduling beat (drain
+		// goroutines): back off and re-read instead of flaking.
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
 }
 
 // Check polls until no suspicious goroutines remain or the deadline

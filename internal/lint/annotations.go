@@ -17,6 +17,12 @@ import (
 //	//lint:release                  (function doc) the one sanctioned
 //	                                place staged sends are transmitted,
 //	                                after the WAL write succeeds
+//	//lint:pooled                   (function doc) bufown root: the
+//	                                function (and everything it calls)
+//	                                handles refcounted pool buffers, so
+//	                                every bufpool.Get/Copy result must be
+//	                                released or have its ownership
+//	                                transferred before it goes dead
 //	//lint:allow <analyzer> <reason> suppress <analyzer> diagnostics on
 //	                                the same line, the line below the
 //	                                directive, or (in a function doc) the
@@ -26,6 +32,7 @@ type directives struct {
 	deterministic map[*types.Func]bool
 	eventloop     map[*types.Func]bool
 	release       map[*types.Func]bool
+	pooled        map[*types.Func]bool
 	allows        []*allowDirective
 }
 
@@ -50,6 +57,7 @@ func (prog *Program) directives() *directives {
 		deterministic: make(map[*types.Func]bool),
 		eventloop:     make(map[*types.Func]bool),
 		release:       make(map[*types.Func]bool),
+		pooled:        make(map[*types.Func]bool),
 	}
 	for _, pkg := range prog.allPackages() {
 		for _, f := range pkg.Files {
@@ -77,6 +85,10 @@ func (prog *Program) directives() *directives {
 					case "release":
 						if fn != nil {
 							d.release[fn] = true
+						}
+					case "pooled":
+						if fn != nil {
+							d.pooled[fn] = true
 						}
 					case "allow":
 						al := newAllow(prog.Fset, c, rest)

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BufownAnalyzer enforces the pooled-buffer ownership discipline on the
+// zero-allocation delivery path (PR 10): every reference obtained from
+// bufpool.Get or bufpool.Copy must be accounted for before the function
+// lets go of it. In code reachable from an //lint:pooled root, a
+// Get/Copy result must either
+//
+//   - be released in the same function (a Release call on the value,
+//     direct or deferred), or
+//   - have its ownership transferred: passed to a call, stored into a
+//     field, slice, map, or composite literal, assigned onward to
+//     another holder, or returned.
+//
+// A result that is only ever used as a method receiver (b.Bytes(),
+// b.Len()) — or not used at all — leaks its reference the moment the
+// function returns: the pool counts it outstanding forever and the
+// leakcheck gate fails. The analyzer is intraprocedural per function
+// (refcounts cannot be tracked statically across calls), so a transfer
+// is trusted: the receiving holder is expected to release, and the
+// //lint:pooled annotation on the root marks the whole path as subject
+// to that contract.
+var BufownAnalyzer = &Analyzer{
+	Name: "bufown",
+	Doc:  "pooled buffers must be released or ownership-transferred before escaping",
+	Run:  runBufown,
+}
+
+func runBufown(pass *Pass) {
+	dirs := pass.Prog.directives()
+	if len(dirs.pooled) == 0 {
+		return
+	}
+	g := pass.Prog.callgraph()
+	// Refs survive goroutine hops (a ref riding a channel into another
+	// goroutine is still owned), so follow go-edges too.
+	reach := g.reachable(sortedFuncs(dirs.pooled), true)
+
+	for fn, root := range reach {
+		n := g.nodes[fn]
+		if n == nil || n.pkg != pass.Pkg {
+			continue
+		}
+		// The pool's own internals hand out the references being
+		// tracked; the contract starts at its callers.
+		if fn.Pkg() != nil && fn.Pkg().Name() == "bufpool" {
+			continue
+		}
+		checkBufown(pass, n, root)
+	}
+}
+
+// checkBufown applies the ownership rule inside one function.
+func checkBufown(pass *Pass, n *funcNode, root *types.Func) {
+	// Pass 1: find every acquisition — a bufpool.Get/Copy call that is
+	// discarded outright, or whose result is bound to a local variable.
+	type acquisition struct {
+		call *ast.CallExpr
+		obj  types.Object // nil when the result is discarded
+	}
+	var acqs []acquisition
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && isPoolAcquire(n.pkg, call) {
+				acqs = append(acqs, acquisition{call: call})
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPoolAcquire(n.pkg, call) {
+					continue
+				}
+				// With a multi-value RHS the i-th LHS receives the i-th
+				// RHS; a single call RHS can only be the pool call itself.
+				if i >= len(x.Lhs) {
+					continue
+				}
+				if id, ok := x.Lhs[i].(*ast.Ident); ok {
+					if obj := n.pkg.Info.Defs[id]; obj != nil {
+						acqs = append(acqs, acquisition{call: call, obj: obj})
+						continue
+					}
+					if obj := n.pkg.Info.Uses[id]; obj != nil {
+						// Reassignment of an existing local: the old
+						// value's refcount is that value's problem; track
+						// the new acquisition under the same object.
+						acqs = append(acqs, acquisition{call: call, obj: obj})
+					}
+				}
+				// Non-identifier LHS (field, index): the store itself is
+				// the ownership transfer.
+			}
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				call, ok := ast.Unparen(v).(*ast.CallExpr)
+				if !ok || !isPoolAcquire(n.pkg, call) || i >= len(x.Names) {
+					continue
+				}
+				if obj := n.pkg.Info.Defs[x.Names[i]]; obj != nil {
+					acqs = append(acqs, acquisition{call: call, obj: obj})
+				}
+			}
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Pass 2: a parent map, so each use of a tracked variable can be
+	// classified by its syntactic context.
+	parent := make(map[ast.Node]ast.Node)
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		for _, c := range childNodes(node) {
+			parent[c] = node
+		}
+		return true
+	})
+
+	for _, a := range acqs {
+		if a.obj == nil {
+			pass.Reportf(a.call.Pos(), "pooled buffer from bufpool.%s is discarded: the reference leaks immediately (path rooted at %s)",
+				acquireName(n.pkg, a.call), root.FullName())
+			continue
+		}
+		if !discharged(n, parent, a.obj) {
+			pass.Reportf(a.call.Pos(), "pooled buffer %s escapes %s without a Release or ownership transfer (path rooted at %s)",
+				a.obj.Name(), n.fn.Name(), root.FullName())
+		}
+	}
+}
+
+// discharged reports whether any use of obj inside the function releases
+// the buffer or transfers its ownership.
+func discharged(n *funcNode, parent map[ast.Node]ast.Node, obj types.Object) bool {
+	ok := false
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		if ok {
+			return false
+		}
+		id, isIdent := node.(*ast.Ident)
+		if !isIdent || n.pkg.Info.Uses[id] != obj {
+			return true
+		}
+		switch p := parent[id].(type) {
+		case *ast.SelectorExpr:
+			// A method/field access on the buffer. Only Release
+			// discharges; Retain, Bytes, Len etc. keep the ref live.
+			if p.X == id && p.Sel.Name == "Release" {
+				ok = true
+			}
+		case *ast.CallExpr:
+			// Bare argument: the reference is handed to the callee.
+			for _, arg := range p.Args {
+				if arg == id {
+					ok = true
+				}
+			}
+		case *ast.ReturnStmt:
+			ok = true
+		case *ast.AssignStmt:
+			// On the RHS of an assignment the ref moves to the new
+			// holder (a field, map slot, or follow-up local).
+			for _, rhs := range p.Rhs {
+				if rhs == id {
+					ok = true
+				}
+			}
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr:
+			ok = true
+		}
+		return true
+	})
+	return ok
+}
+
+// isPoolAcquire matches calls to Get or Copy declared in a package named
+// bufpool (the real pool, or fixture doubles of it).
+func isPoolAcquire(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeOf(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "bufpool" {
+		return false
+	}
+	return fn.Name() == "Get" || fn.Name() == "Copy"
+}
+
+func acquireName(pkg *Package, call *ast.CallExpr) string {
+	if fn := calleeOf(pkg, call); fn != nil {
+		return fn.Name()
+	}
+	return "Get"
+}
+
+// childNodes returns the direct children of node, via a one-level
+// Inspect.
+func childNodes(node ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(node, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -105,6 +105,10 @@ func TestLogBeforeForwardFixtures(t *testing.T) {
 	runFixture(t, []*Analyzer{LogBeforeForwardAnalyzer}, "logfwdfail", "logfwdpass")
 }
 
+func TestBufownFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{BufownAnalyzer}, "bufownfail", "bufownpass")
+}
+
 // TestFullSuiteOnFixtures runs all analyzers together over every
 // fail/pass fixture, proving the analyzers do not interfere (an
 // eventloop root in the logfwd fixtures must not trip loopblock, and
@@ -115,6 +119,7 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 		"loopblockfail", "loopblockpass",
 		"kindswitchfail", "kindswitchpass",
 		"logfwdfail", "logfwdpass",
+		"bufownfail", "bufownpass",
 	)
 }
 
@@ -180,6 +185,9 @@ func TestAnnotationRoots(t *testing.T) {
 	}
 	if len(dirs.release) == 0 {
 		t.Error("no //lint:release function found: log-before-forward is unguarded")
+	}
+	if len(dirs.pooled) == 0 {
+		t.Error("no //lint:pooled roots found: pooled-buffer ownership is unguarded")
 	}
 	var det []string
 	for fn := range dirs.deterministic {

@@ -61,6 +61,7 @@ func All() []*Analyzer {
 		LoopblockAnalyzer,
 		KindswitchAnalyzer,
 		LogBeforeForwardAnalyzer,
+		BufownAnalyzer,
 	}
 }
 

@@ -1,0 +1,44 @@
+// Package bufownfail holds pooled-ownership violations: references
+// obtained from the pool that are neither released nor transferred.
+package bufownfail
+
+import "amcast/internal/lint/testdata/src/bufpool"
+
+// Leak copies into a pooled buffer, reads it back out, and drops the
+// reference on the floor — the pool counts it outstanding forever.
+//
+//lint:pooled
+func Leak(p []byte) []byte {
+	b := bufpool.Copy(p) // want `pooled buffer b escapes Leak without a Release or ownership transfer`
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// Discard loses the reference in the same statement that acquired it.
+//
+//lint:pooled
+func Discard(n int) {
+	bufpool.Get(n) // want `pooled buffer from bufpool\.Get is discarded`
+}
+
+// Root is the annotated entry point; the contract follows the call.
+//
+//lint:pooled
+func Root(n int) {
+	helper(n)
+}
+
+// helper is reachable from a pooled root, so the same rule applies even
+// without its own annotation.
+func helper(n int) {
+	b := bufpool.Get(n) // want `pooled buffer b escapes helper without a Release or ownership transfer \(path rooted at .*bufownfail\.Root\)`
+	_ = b.Bytes()
+}
+
+// RetainIsNotRelease bumps the refcount and then leaks both references:
+// only Release (or a transfer) discharges.
+//
+//lint:pooled
+func RetainIsNotRelease(n int) {
+	b := bufpool.Get(n) // want `pooled buffer b escapes RetainIsNotRelease without a Release or ownership transfer`
+	b.Retain()
+}

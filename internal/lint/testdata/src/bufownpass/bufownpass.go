@@ -1,0 +1,90 @@
+// Package bufownpass pins down the ownership shapes that must stay
+// legal: release in scope, deferred release, transfer by call, store,
+// append, assignment, composite literal, and return.
+package bufownpass
+
+import "amcast/internal/lint/testdata/src/bufpool"
+
+// ReleaseLocal releases the buffer after the single copy out.
+//
+//lint:pooled
+func ReleaseLocal(p []byte) []byte {
+	b := bufpool.Copy(p)
+	out := append([]byte(nil), b.Bytes()...)
+	b.Release()
+	return out
+}
+
+// DeferredRelease releases on every exit path via defer.
+//
+//lint:pooled
+func DeferredRelease(p []byte) []byte {
+	b := bufpool.Copy(p)
+	defer b.Release()
+	return append([]byte(nil), b.Bytes()...)
+}
+
+type holder struct {
+	bufs []*bufpool.Buf
+	one  *bufpool.Buf
+}
+
+// Stash transfers ownership into a longer-lived holder by append.
+//
+//lint:pooled
+func (h *holder) Stash(n int) {
+	b := bufpool.Get(n)
+	h.bufs = append(h.bufs, b)
+}
+
+// Store transfers ownership by field assignment.
+//
+//lint:pooled
+func (h *holder) Store(n int) {
+	b := bufpool.Get(n)
+	h.one = b
+}
+
+// Transfer hands the reference to the sink, which now owns it.
+//
+//lint:pooled
+func Transfer(n int, sink func(*bufpool.Buf)) {
+	b := bufpool.Get(n)
+	sink(b)
+}
+
+// Give returns the reference to the caller.
+//
+//lint:pooled
+func Give(n int) *bufpool.Buf {
+	return bufpool.Get(n)
+}
+
+// GiveNamed binds then returns — same transfer, different shape.
+//
+//lint:pooled
+func GiveNamed(n int) *bufpool.Buf {
+	b := bufpool.Get(n)
+	return b
+}
+
+type wrapped struct{ buf *bufpool.Buf }
+
+// Wrap transfers ownership into a composite literal.
+//
+//lint:pooled
+func Wrap(n int) wrapped {
+	b := bufpool.Get(n)
+	return wrapped{buf: b}
+}
+
+// Swap replaces a block with a fresh one, releasing the old — the
+// readLoop refill shape.
+//
+//lint:pooled
+func Swap(cur *bufpool.Buf, n int) *bufpool.Buf {
+	nb := bufpool.Get(n)
+	cur.Release()
+	cur = nb
+	return cur
+}

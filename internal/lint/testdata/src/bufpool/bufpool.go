@@ -1,0 +1,26 @@
+// Package bufpool is a fixture double of the real buffer pool. The
+// bufown analyzer identifies Get/Copy structurally — by package NAME,
+// not import path — so this miniature keeps the fixtures self-contained.
+package bufpool
+
+// Buf is a refcounted pooled buffer.
+type Buf struct{ data []byte }
+
+// Get hands out a buffer with one reference.
+func Get(n int) *Buf { return &Buf{data: make([]byte, n)} }
+
+// Copy is Get plus a copy of p.
+func Copy(p []byte) *Buf {
+	b := Get(len(p))
+	copy(b.data, p)
+	return b
+}
+
+// Bytes exposes the storage without touching the refcount.
+func (b *Buf) Bytes() []byte { return b.data }
+
+// Retain adds a reference.
+func (b *Buf) Retain() {}
+
+// Release drops a reference.
+func (b *Buf) Release() {}

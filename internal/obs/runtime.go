@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"amcast/internal/bufpool"
+)
+
+// GC-pressure and pool telemetry. The zero-allocation work (pooled reads,
+// refcounted value buffers) is only verifiable if its effect is visible at
+// runtime, so every deployment registry carries:
+//
+//   - go.* gauges over runtime.MemStats — heap level and GC pause
+//     quantiles computed from the PauseNs ring, sampled at scrape time
+//     behind a short-lived cache (ReadMemStats stops the world);
+//   - mrp.bufpool.* counters over the process-wide buffer pool — hit/miss
+//     rates say whether the size classes fit the workload, outstanding
+//     says whether refs leak.
+
+// memSampler caches one MemStats snapshot briefly so a scrape reading a
+// dozen go.* series pays for a single ReadMemStats.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+const memSampleTTL = 100 * time.Millisecond
+
+func (s *memSampler) snapshot() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > memSampleTTL {
+		runtime.ReadMemStats(&s.stat)
+		s.at = now
+	}
+	return s.stat
+}
+
+// pauseQuantile computes a quantile over the recent GC pauses recorded in
+// the MemStats.PauseNs circular buffer (up to the last 256 cycles).
+func pauseQuantile(m *runtime.MemStats, q float64) float64 {
+	n := int(m.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(m.PauseNs) {
+		n = len(m.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = m.PauseNs[(int(m.NumGC)-1-i+len(m.PauseNs))%len(m.PauseNs)]
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := int(q * float64(n-1))
+	return float64(pauses[idx]) / 1e9
+}
+
+// RegisterRuntime registers heap and GC-pause telemetry for this process.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := &memSampler{}
+	gauge := func(name string, read func(*runtime.MemStats) float64) {
+		r.Gauge(name, nil, func() float64 { m := s.snapshot(); return read(&m) })
+	}
+	counter := func(name string, read func(*runtime.MemStats) float64) {
+		r.Counter(name, nil, func() float64 { m := s.snapshot(); return read(&m) })
+	}
+	gauge("go.heap.inuse_bytes", func(m *runtime.MemStats) float64 { return float64(m.HeapInuse) })
+	gauge("go.heap.objects", func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) })
+	gauge("go.gc.pause_p50_seconds", func(m *runtime.MemStats) float64 { return pauseQuantile(m, 0.50) })
+	gauge("go.gc.pause_p99_seconds", func(m *runtime.MemStats) float64 { return pauseQuantile(m, 0.99) })
+	counter("go.gc.pause_seconds_total", func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 })
+	counter("go.gc.cycles_total", func(m *runtime.MemStats) float64 { return float64(m.NumGC) })
+	counter("go.alloc.mallocs_total", func(m *runtime.MemStats) float64 { return float64(m.Mallocs) })
+	counter("go.alloc.bytes_total", func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) })
+}
+
+// RegisterBufPool registers the process-wide buffer-pool statistics.
+func RegisterBufPool(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("mrp.bufpool.hits_total", nil, func() float64 {
+		return float64(bufpool.Snapshot().Hits)
+	})
+	r.Counter("mrp.bufpool.misses_total", nil, func() float64 {
+		return float64(bufpool.Snapshot().Misses)
+	})
+	r.Counter("mrp.bufpool.oversize_total", nil, func() float64 {
+		return float64(bufpool.Snapshot().Oversize)
+	})
+	r.Gauge("mrp.bufpool.outstanding", nil, func() float64 {
+		return float64(bufpool.Outstanding())
+	})
+}
+
+// DropCounter is implemented by transports that count dropped sends
+// (transport.TCPNode).
+type DropCounter interface{ DroppedSends() uint64 }
+
+// RegisterTransport registers a transport node's send-drop counter under
+// transport.send.dropped with a {process} label.
+func RegisterTransport(r *Registry, process string, tr DropCounter) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.Counter("transport.send.dropped", map[string]string{"process": process}, func() float64 {
+		return float64(tr.DroppedSends())
+	})
+}

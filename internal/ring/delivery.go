@@ -38,7 +38,10 @@ func (n *Node) enqueueBatch(b []Delivery) bool {
 	n.dmu.Lock()
 	if n.dclosed {
 		n.dmu.Unlock()
-		return true // shutting down; pending deliveries may be lost
+		// Shutting down; pending deliveries may be lost. Nothing will
+		// drain the batch, so drop its payload references here.
+		n.ReleaseBatch(b)
+		return true
 	}
 	if n.dlag > 0 && n.dlag+len(b) > n.cfg.DeliverBuffer {
 		n.dmu.Unlock()
@@ -113,7 +116,23 @@ func (n *Node) deliveryLoop() {
 		select {
 		case n.deliverCh <- b:
 		case <-n.done:
+			n.ReleaseBatch(b) // consumer gone; drop the batch's references
 			return
+		}
+	}
+}
+
+// releaseQueuedBatches drops every batch still staged in the delivery
+// queue. Called by Stop after both loops exited, so nothing concurrently
+// touches dqueue.
+func (n *Node) releaseQueuedBatches() {
+	n.dmu.Lock()
+	q := n.dqueue[n.dhead:]
+	n.dqueue, n.dhead, n.dlag = nil, 0, 0
+	n.dmu.Unlock()
+	for _, b := range q {
+		if b != nil {
+			n.ReleaseBatch(b)
 		}
 	}
 }
@@ -169,10 +188,13 @@ func (n *Node) forceEnqueue(b []Delivery) {
 		return
 	}
 	n.dmu.Lock()
-	if !n.dclosed {
-		n.dqueue = append(n.dqueue, b)
-		n.dlag += len(b)
+	if n.dclosed {
+		n.dmu.Unlock()
+		n.ReleaseBatch(b) // stage already closed: the batch is dropped
+		return
 	}
+	n.dqueue = append(n.dqueue, b)
+	n.dlag += len(b)
 	n.dmu.Unlock()
 	n.dcond.Signal()
 }
@@ -247,6 +269,9 @@ func (n *Node) serveCatchupLocal(room int) {
 		if !ok {
 			break
 		}
+		// Accepted-map values are pooled: the batch entry takes its own
+		// reference (nil-safe for log-served heap copies).
+		v.Buf.Retain()
 		batch = append(batch, Delivery{Ring: n.ring, Instance: next, Value: v})
 		next += v.Span()
 		room--

@@ -17,16 +17,19 @@ type proposalQueue struct {
 // len reports the number of queued values.
 func (q *proposalQueue) len() int { return q.n }
 
-// push appends v, growing the buffer when full.
+// push appends v, growing the buffer when full. The queue takes its own
+// payload reference; pop transfers it to the caller.
 func (q *proposalQueue) push(v transport.Value) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
+	v.Buf.Retain()
 	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
 	q.n++
 }
 
-// pop removes and returns the oldest value. Callers check len first.
+// pop removes and returns the oldest value, transferring the queue's
+// payload reference to the caller. Callers check len first.
 func (q *proposalQueue) pop() transport.Value {
 	v := q.buf[q.head]
 	q.buf[q.head] = transport.Value{} // release payload reference

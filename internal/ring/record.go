@@ -13,14 +13,20 @@ import (
 // The instance is redundant with the log key but keeps records
 // self-describing for offline inspection and WAL replay.
 
-// encodeAccept builds the durable record for a vote. The single-entry
-// batch is encoded in place: votes carry the full proposal payload (32 KB
-// packed instances), and an intermediate EncodeBatch buffer would double
-// the copy on every acceptor's hot path.
+// acceptRecordSize is the exact encoded size of a vote record, so the hot
+// path can encode into a pre-sized pooled buffer.
+func acceptRecordSize(v transport.Value) int {
+	return 4 + 4 + 8 + 8 + 1 + 4 + 4 + len(v.Data)
+}
+
+// appendAccept appends the durable record for a vote to buf (exactly
+// acceptRecordSize bytes). The single-entry batch is encoded in place:
+// votes carry the full proposal payload (32 KB packed instances), and an
+// intermediate EncodeBatch buffer would double the copy on every
+// acceptor's hot path.
 //
 //lint:deterministic
-func encodeAccept(ballot uint32, instance uint64, v transport.Value) []byte {
-	buf := make([]byte, 0, 4+4+8+8+1+4+4+len(v.Data))
+func appendAccept(buf []byte, ballot uint32, instance uint64, v transport.Value) []byte {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], ballot)
 	buf = append(buf, tmp[:4]...)
@@ -28,8 +34,15 @@ func encodeAccept(ballot uint32, instance uint64, v transport.Value) []byte {
 	buf = append(buf, tmp[:4]...)
 	binary.LittleEndian.PutUint64(tmp[:8], instance)
 	buf = append(buf, tmp[:8]...)
-	buf = transport.AppendValue(buf, v)
-	return buf
+	return transport.AppendValue(buf, v)
+}
+
+// encodeAccept builds the durable record for a vote on the heap (tests
+// and cold paths; recordVote encodes into a pooled buffer instead).
+//
+//lint:deterministic
+func encodeAccept(ballot uint32, instance uint64, v transport.Value) []byte {
+	return appendAccept(make([]byte, 0, acceptRecordSize(v)), ballot, instance, v)
 }
 
 // decodeAccept parses a record written by encodeAccept.

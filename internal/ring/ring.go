@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"amcast/internal/bufpool"
 	"amcast/internal/coord"
 	"amcast/internal/metrics"
 	"amcast/internal/storage"
@@ -275,7 +276,13 @@ type Node struct {
 	// before forward" invariant (Section 5.1) at batch granularity.
 	walBatch    []storage.Record
 	stagedSends []transport.Message
-	batchTr     transport.BatchSender // non-nil when tr coalesces writes
+	// walBufs holds the pooled buffers backing walBatch's records; they
+	// recycle once the group commit lands (the log copies records).
+	// burstRefs holds the read-block and interned-payload references of
+	// the burst being drained, released after the burst's commit+flush.
+	walBufs   []*bufpool.Buf
+	burstRefs []*bufpool.Buf
+	batchTr   transport.BatchSender // non-nil when tr coalesces writes
 	// commitWedged is set while a group commit has failed and its batch
 	// is retained for retry: sends were dropped and delivery release is
 	// withheld until the log accepts the batch, so neither messages nor
@@ -399,13 +406,16 @@ func (n *Node) Ring() transport.RingID { return n.ring }
 func (n *Node) DeliveryBatches() <-chan []Delivery { return n.deliverCh }
 
 // ReleaseBatch returns a batch obtained from DeliveryBatches to the node's
-// buffer pool. The caller must not touch the slice afterwards; payload
-// bytes referenced by the entries are unaffected.
+// buffer pool and drops the entries' pooled payload references. The caller
+// must not touch the slice afterwards; on pooled transports payload bytes
+// may recycle once every holder has released, so consumers that keep a
+// payload past this call must copy it first (see Value.Buf).
 func (n *Node) ReleaseBatch(b []Delivery) {
 	if cap(b) == 0 {
 		return
 	}
 	for i := range b {
+		b[i].Value.Buf.Release()
 		b[i] = Delivery{} // drop payload references held by the pooled array
 	}
 	select {
@@ -437,6 +447,14 @@ func (n *Node) Deliveries() <-chan Delivery {
 			defer close(out)
 			for batch := range n.deliverCh {
 				for _, d := range batch {
+					if d.Value.Buf != nil {
+						// Per-message consumers park deliveries in a
+						// buffered channel indefinitely: detach this
+						// copy onto the heap so the pooled bytes can
+						// recycle when the batch is released below.
+						d.Value.Data = append([]byte(nil), d.Value.Data...)
+						d.Value.Buf = nil
+					}
 					// Prefer forwarding: an actively draining consumer
 					// receives every buffered delivery even across
 					// Stop (as the plain buffered channel did); only a
@@ -449,6 +467,7 @@ func (n *Node) Deliveries() <-chan Delivery {
 					select {
 					case out <- d:
 					case <-n.done:
+						n.ReleaseBatch(batch)
 						return
 					}
 				}
@@ -535,6 +554,27 @@ func (n *Node) Stop() {
 		close(n.done)
 		<-n.loopDone
 		<-n.deliveryDone
+		// Both loops have exited: batches still staged between them can
+		// no longer reach a consumer, so drop their pooled references.
+		n.releaseQueuedBatches()
+		// deliverCh is closed and nothing sends on it anymore; batches
+		// still buffered go to whoever drains first. An actively draining
+		// consumer keeps receiving its prefix, and what it has not taken
+		// by now is dropped here — Stop's documented lossy semantics —
+		// so a node whose deliveries were never consumed leaves no
+		// pooled buffers outstanding.
+	drain:
+		for {
+			select {
+			case b, ok := <-n.deliverCh:
+				if !ok {
+					break drain
+				}
+				n.ReleaseBatch(b)
+			default:
+				break drain
+			}
+		}
 	})
 }
 

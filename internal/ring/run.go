@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"amcast/internal/bufpool"
 	"amcast/internal/coord"
 	"amcast/internal/storage"
 	"amcast/internal/transport"
@@ -24,6 +25,11 @@ func (n *Node) run() {
 	// The delivery stage owns deliverCh: tell it to drain what it holds
 	// and close the channel once this loop exits.
 	defer n.closeDelivery()
+	// Drop every pooled buffer reference the loop state still holds, so
+	// a stopped node leaves nothing outstanding in the pool. The exit
+	// paths run commitStaged and finalHandoff before returning, so only
+	// references with no remaining consumer are left by then.
+	defer n.releaseRunState()
 
 	// The retry ticker fires at a quarter of the retry interval so phase-1
 	// re-runs and gap probes react quickly after startup or elections; the
@@ -68,7 +74,7 @@ func (n *Node) run() {
 				n.finalHandoff()
 				return
 			}
-			n.handle(m)
+			n.consume(m)
 			// Drain whatever else already arrived before committing, so
 			// one WAL group commit and one coalesced transport flush
 			// cover a burst of messages instead of paying a write
@@ -82,7 +88,7 @@ func (n *Node) run() {
 						n.finalHandoff()
 						return
 					}
-					n.handle(m)
+					n.consume(m)
 				default:
 					break drain
 				}
@@ -107,6 +113,10 @@ func (n *Node) run() {
 		// staged (a no-op otherwise).
 		n.pumpCatchup(allowRemoteCatchup)
 		n.commitStaged()
+		// The burst is fully committed and flushed: the read blocks and
+		// interned payload creation references can go back to the pool
+		// (holders that outlive the burst took their own references).
+		n.releaseBurst()
 	}
 }
 
@@ -153,6 +163,7 @@ func (n *Node) commitStaged() {
 				n.cfg.Coord.MarkDown(n.id)
 			}
 			for i := range n.stagedSends {
+				n.stagedSends[i].Value.Buf.Release()
 				n.stagedSends[i] = transport.Message{}
 			}
 			n.stagedSends = n.stagedSends[:0]
@@ -177,6 +188,9 @@ func (n *Node) commitStaged() {
 			n.walBatch[i] = storage.Record{} // release record buffers
 		}
 		n.walBatch = n.walBatch[:0]
+		// The log copied the records (PutBatch contract), so the pooled
+		// buffers they were encoded into can recycle now.
+		n.releaseWALBufs()
 	}
 	n.commitWedged = false
 	if len(n.stagedSends) == 0 {
@@ -191,6 +205,10 @@ func (n *Node) commitStaged() {
 		}
 	}
 	for i := range n.stagedSends {
+		// The transport serialized the frame synchronously (tcpConn.write
+		// copies into its own buffer before the syscall), so the staged
+		// send's payload reference can be dropped now.
+		n.stagedSends[i].Value.Buf.Release()
 		n.stagedSends[i] = transport.Message{} // release payload references
 	}
 	n.stagedSends = n.stagedSends[:0]
@@ -382,7 +400,12 @@ func (n *Node) tryPropose() {
 }
 
 // packBatch greedily packs queued proposals behind head into one batched
-// value of at most BatchBytes payload bytes.
+// value of at most BatchBytes payload bytes. The batch encodes into a
+// pooled buffer whose creation reference transfers to the returned
+// value (and from there to the flight table); the consumed proposals'
+// queue references are released once their bytes are packed.
+//
+//lint:pooled
 func (n *Node) packBatch(head transport.Value) transport.Value {
 	batch := []transport.InstanceValue{{Value: head}}
 	size := len(head.Data)
@@ -398,16 +421,29 @@ func (n *Node) packBatch(head transport.Value) transport.Value {
 	if len(batch) == 1 {
 		return head
 	}
+	// Encode the packed payload straight into a pooled buffer: the packed
+	// value rides the same accept/WAL/forward path as an inbound one. Its
+	// creation reference transfers to the flight slot via proposeValue;
+	// the consumed source values' references are dropped here (their bytes
+	// were just copied).
+	pb := bufpool.Get(transport.EncodedBatchSize(batch))
+	data := transport.AppendBatch(pb.Bytes()[:0], batch)
+	for i := range batch {
+		batch[i].Value.Buf.Release()
+	}
 	return transport.Value{
 		ID:      head.ID,
 		Batched: true,
 		Count:   1,
-		Data:    transport.EncodeBatch(batch),
+		Data:    data,
+		Buf:     pb,
 	}
 }
 
 // proposeValue runs Phase 2 for one value: the coordinator logs its own
-// vote and forwards the combined 2A/2B message.
+// vote and forwards the combined 2A/2B message. The flight slot takes
+// ownership of the caller's payload reference (released when the slot
+// frees: decided, superseded, or node exit).
 func (n *Node) proposeValue(v transport.Value) {
 	inst := n.nextInstance
 	n.nextInstance += v.Span()
@@ -421,13 +457,23 @@ func (n *Node) proposeValue(v transport.Value) {
 // recordVote stages the durable vote record for an instance and tracks it
 // in the volatile accepted map and its sorted index. The staged record
 // commits (group commit) before any message of this burst leaves the node.
+// The record is encoded into a pooled buffer (tracked in walBufs, recycled
+// once the commit lands) and the accepted map takes its own payload
+// reference, held until the instance is trimmed or overwritten.
+//
+//lint:pooled
 func (n *Node) recordVote(ballot uint32, inst uint64, v transport.Value) {
-	n.stagePut(inst, encodeAccept(ballot, inst, v))
+	rec := bufpool.Get(acceptRecordSize(v))
+	n.stagePut(inst, appendAccept(rec.Bytes()[:0], ballot, inst, v))
+	n.walBufs = append(n.walBufs, rec)
 	n.spanNow("vote", inst, v)
 	n.traceStagedVote(inst, v)
-	if _, ok := n.accepted[inst]; !ok {
+	if old, ok := n.accepted[inst]; ok {
+		old.value.Buf.Release() // re-vote: drop the superseded value's ref
+	} else {
 		n.acceptedInsert(inst)
 	}
+	v.Buf.Retain()
 	n.accepted[inst] = acceptedRec{ballot: ballot, value: v}
 }
 
@@ -633,6 +679,7 @@ func (n *Node) learnDecision(inst uint64, v transport.Value) {
 		return
 	}
 	n.idleTicks = 0
+	v.Buf.Retain() // the learned map holds its own payload reference
 	n.learned[inst] = v
 	if end := inst + v.Span() - 1; end > n.maxDecided {
 		n.maxDecided = end
@@ -653,6 +700,8 @@ func (n *Node) learnDecision(inst uint64, v transport.Value) {
 		// now would reorder; the retransmit path replays this instance
 		// later (the protocol still advances at full speed).
 		if n.isLearner() && !n.inCatchup.Load() {
+			// The learned map's reference transfers to the Delivery entry
+			// (ReleaseBatch drops it once the consumer is done).
 			n.pending = append(n.pending, Delivery{Ring: n.ring, Instance: n.nextDeliver, Value: val})
 			if len(n.pending) >= deliveryBatchCap {
 				// Full batch mid-drain (burst catch-ups): hand it over
@@ -665,6 +714,10 @@ func (n *Node) learnDecision(inst uint64, v transport.Value) {
 					n.handoffPending()
 				}
 			}
+		} else {
+			// Suppressed (catching up, or not a learner): no Delivery
+			// entry will carry this value, so drop the learned map's ref.
+			val.Buf.Release()
 		}
 		n.nextDeliver += val.Span()
 	}
@@ -672,7 +725,8 @@ func (n *Node) learnDecision(inst uint64, v transport.Value) {
 
 // coordObserveDecided releases the pipeline slot for a decided instance.
 func (n *Node) coordObserveDecided(inst uint64) {
-	if _, ok := n.inFlight[inst]; ok {
+	if f, ok := n.inFlight[inst]; ok {
+		f.value.Buf.Release()
 		delete(n.inFlight, inst)
 		n.tryPropose()
 	}
@@ -692,6 +746,7 @@ func (n *Node) retryUndecided() {
 	cutoff := time.Now().Add(-n.cfg.RetryInterval)
 	for inst, f := range n.inFlight {
 		if inst < n.nextDeliver {
+			f.value.Buf.Release()
 			delete(n.inFlight, inst)
 			continue
 		}
@@ -995,6 +1050,8 @@ func (n *Node) applyTrim(upTo uint64) {
 	_ = n.cfg.Log.Trim(upTo)
 	i := sort.Search(len(n.acceptedIdx), func(i int) bool { return n.acceptedIdx[i] > upTo })
 	for _, inst := range n.acceptedIdx[:i] {
+		// Trim is the acceptor's release point for its payload reference.
+		n.accepted[inst].value.Buf.Release()
 		delete(n.accepted, inst)
 	}
 	// Copy down rather than re-slice so the trimmed prefix does not pin
@@ -1009,5 +1066,7 @@ func (n *Node) applyTrim(upTo uint64) {
 func (n *Node) send(to transport.ProcessID, m transport.Message) {
 	m.Ring = n.ring
 	m.To = to
+	m.Block = nil        // read blocks never ride outbound (burst-owned)
+	m.Value.Buf.Retain() // the staged send holds its own payload reference
 	n.stagedSends = append(n.stagedSends, m)
 }

@@ -684,6 +684,13 @@ func NewReplica(cfg ReplicaConfig, recovered recovery.Checkpoint) (*Replica, err
 // — touches only merge-owned state, lock-free. Client responses are
 // flushed together after execution.
 //
+// Ownership: d.Data may alias pooled buffers the core releases when this
+// handler returns, so everything here — decode, execute, reply flush —
+// happens synchronously inside the call, and nothing (state machine
+// input, dedup-window responses, respBuf payloads) retains a slice of
+// d.Data past it. A state machine that wants to keep command bytes must
+// copy them.
+//
 //lint:deterministic
 func (r *Replica) deliverBatch(ds []core.Delivery) {
 	// Local reads are shut out for the duration: parallel apply commits

@@ -1,0 +1,12 @@
+package storage
+
+import (
+	"testing"
+
+	"amcast/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine-leak verification and on the
+// buffer pool reporting zero outstanding buffers (the pooled MemLog
+// retains records in pool buffers until Trim/Close).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

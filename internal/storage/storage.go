@@ -19,6 +19,8 @@ package storage
 import (
 	"errors"
 	"sync"
+
+	"amcast/internal/bufpool"
 )
 
 // Record pairs a consensus instance with its durable record, for batched
@@ -74,11 +76,31 @@ type MemLog struct {
 	records map[uint64][]byte
 	trimmed uint64
 	closed  bool
+
+	// pooled mode (NewPooledMemLog): records are copied into refcounted
+	// pool buffers tracked in bufs, released on overwrite/trim/close.
+	pooled bool
+	bufs   map[uint64]*bufpool.Buf
 }
 
 // NewMemLog returns an empty in-memory log.
 func NewMemLog() *MemLog {
 	return &MemLog{records: make(map[uint64][]byte)}
+}
+
+// NewPooledMemLog returns an in-memory log whose record copies live in
+// refcounted pool buffers instead of per-record heap allocations: the
+// steady-state accept path (one record copied per vote) stops producing
+// garbage, and Trim returns the bytes to the pool deterministically. Get
+// returns a heap copy so callers never alias storage that a concurrent
+// Trim could recycle. Close releases all retained records (Get misses
+// afterwards, unlike the plain MemLog).
+func NewPooledMemLog() *MemLog {
+	return &MemLog{
+		records: make(map[uint64][]byte),
+		bufs:    make(map[uint64]*bufpool.Buf),
+		pooled:  true,
+	}
 }
 
 var _ Log = (*MemLog)(nil)
@@ -96,10 +118,25 @@ func (l *MemLog) Put(instance uint64, record []byte) error {
 	if instance != metaInstance && instance <= l.trimmed && l.trimmed > 0 {
 		return nil // already trimmed; ignore stale writes
 	}
+	l.store(instance, record)
+	return nil
+}
+
+// store copies record into the map under l.mu, using a pool buffer in
+// pooled mode (releasing any overwritten one).
+func (l *MemLog) store(instance uint64, record []byte) {
+	if l.pooled {
+		if old, ok := l.bufs[instance]; ok {
+			old.Release()
+		}
+		b := bufpool.Copy(record)
+		l.bufs[instance] = b
+		l.records[instance] = b.Bytes()
+		return
+	}
 	cp := make([]byte, len(record))
 	copy(cp, record)
 	l.records[instance] = cp
-	return nil
 }
 
 // PutBatch stores copies of all records under one lock acquisition.
@@ -116,18 +153,21 @@ func (l *MemLog) PutBatch(recs []Record) error {
 		if r.Instance != metaInstance && r.Instance <= l.trimmed && l.trimmed > 0 {
 			continue
 		}
-		cp := make([]byte, len(r.Data))
-		copy(cp, r.Data)
-		l.records[r.Instance] = cp
+		l.store(r.Instance, r.Data)
 	}
 	return nil
 }
 
-// Get returns the record for instance.
+// Get returns the record for instance. In pooled mode the result is a
+// heap copy (the stored bytes may recycle on a concurrent Trim); the
+// plain mode returns the stored copy directly, as before.
 func (l *MemLog) Get(instance uint64) ([]byte, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	rec, ok := l.records[instance]
+	if ok && l.pooled {
+		rec = append([]byte(nil), rec...)
+	}
 	return rec, ok
 }
 
@@ -143,6 +183,10 @@ func (l *MemLog) Trim(upTo uint64) error {
 	}
 	for inst := range l.records {
 		if inst != metaInstance && inst <= upTo {
+			if b, ok := l.bufs[inst]; ok {
+				b.Release()
+				delete(l.bufs, inst)
+			}
 			delete(l.records, inst)
 		}
 	}
@@ -170,10 +214,18 @@ func (l *MemLog) Len() int {
 // Sync is a no-op for the in-memory log.
 func (l *MemLog) Sync() error { return nil }
 
-// Close marks the log closed.
+// Close marks the log closed. In pooled mode the retained records return
+// to the pool.
 func (l *MemLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true
+	if l.pooled {
+		for inst, b := range l.bufs {
+			b.Release()
+			delete(l.bufs, inst)
+			delete(l.records, inst)
+		}
+	}
 	return nil
 }

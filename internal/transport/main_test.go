@@ -1,0 +1,13 @@
+package transport
+
+import (
+	"testing"
+
+	"amcast/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine-leak verification and on the
+// buffer pool reporting zero outstanding buffers: the pooled read path
+// lives here, so a missing Release anywhere in a test run fails the
+// whole binary.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"amcast/internal/bufpool"
 	"amcast/internal/trace"
 )
 
@@ -171,6 +172,15 @@ type Value struct {
 	Count uint32
 	// Data is the application payload (opaque to the protocol).
 	Data []byte
+	// Buf, when non-nil, is the pooled refcounted buffer backing Data.
+	// It never rides the wire (encoders ignore it) and is only set on
+	// pooled paths: the ring interns a TCP-delivered payload once into a
+	// pooled buffer and every downstream holder (accepted map, WAL
+	// batch, staged forward, delivery batch) takes its own reference.
+	// Holders that copy a Value for retention must Retain; whoever
+	// drops the last copy Releases. Code that stores Data beyond the
+	// current call without touching Buf must heap-detach it first.
+	Buf *bufpool.Buf
 }
 
 // IsZero reports whether v is the zero Value.
@@ -237,6 +247,50 @@ type Message struct {
 	// decoder skips unknown optional header types, so mixed-version
 	// rings interoperate (forward and backward compatible).
 	Traces []TraceRef
+	// Block, when non-nil, is the pooled TCP read block whose storage
+	// Value.Data and Payload alias. The reference it represents is owned
+	// by the message: the consumer that drains the message releases it
+	// once it no longer reads the aliased slices (the ring releases a
+	// burst's blocks after the burst's staged work is flushed). Never
+	// set on in-process transports, never encoded.
+	Block *bufpool.Buf
+}
+
+// ReleaseRefs drops the pooled-buffer references carried by m (read
+// block and interned value buffer), if any. Nil-safe on both; called
+// wherever a message is dropped instead of handed to its consumer so
+// pooled storage is not leaked.
+func (m *Message) ReleaseRefs() {
+	m.Block.Release()
+	m.Block = nil
+	m.Value.Buf.Release()
+	m.Value.Buf = nil
+}
+
+// RetainRefs takes one additional reference on each pooled buffer m
+// carries, nil-safe. The in-process transport calls it per delivered
+// copy of a message: a pooled payload crosses process boundaries as a
+// slice alias rather than an encoded wire copy there, so each in-flight
+// copy must pin the buffer until its consumer releases it — otherwise
+// the sender's shutdown could recycle bytes a receiver is still reading.
+func (m *Message) RetainRefs() {
+	m.Block.Retain()
+	m.Value.Buf.Retain()
+}
+
+// DetachAlias copies m's wire-aliasing byte fields (Value.Data,
+// Payload) onto the GC heap and clears Value.Buf, so the message stays
+// valid after the read block it was decoded from is recycled. Used for
+// message kinds outside the pooled steady-state path, whose holders
+// may retain the bytes indefinitely.
+func (m *Message) DetachAlias() {
+	if len(m.Value.Data) > 0 {
+		m.Value.Data = append([]byte(nil), m.Value.Data...)
+	}
+	m.Value.Buf = nil
+	if len(m.Payload) > 0 {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
 }
 
 const msgFixedHeader = 1 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 8 // through Seq
@@ -435,15 +489,22 @@ func AppendValue(buf []byte, v Value) []byte {
 	return append(buf, v.Data...)
 }
 
-// EncodeBatch encodes a retransmission batch into a payload.
-//
-//lint:deterministic
-func EncodeBatch(batch []InstanceValue) []byte {
+// EncodedBatchSize returns the exact size of EncodeBatch's output, so
+// callers can encode into a pre-sized (possibly pooled) buffer via
+// AppendBatch without a second copy.
+func EncodedBatchSize(batch []InstanceValue) int {
 	size := 4
 	for _, iv := range batch {
 		size += 8 + 8 + 1 + 4 + 4 + len(iv.Value.Data)
 	}
-	buf := make([]byte, 0, size)
+	return size
+}
+
+// AppendBatch appends the batch encoding to buf and returns the extended
+// slice (EncodedBatchSize bytes are written).
+//
+//lint:deterministic
+func AppendBatch(buf []byte, batch []InstanceValue) []byte {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(batch)))
 	buf = append(buf, tmp[:4]...)
@@ -453,6 +514,13 @@ func EncodeBatch(batch []InstanceValue) []byte {
 		buf = AppendValue(buf, iv.Value)
 	}
 	return buf
+}
+
+// EncodeBatch encodes a retransmission batch into a payload.
+//
+//lint:deterministic
+func EncodeBatch(batch []InstanceValue) []byte {
+	return AppendBatch(make([]byte, 0, EncodedBatchSize(batch)), batch)
 }
 
 // VisitBatch parses a payload produced by EncodeBatch, calling fn for each

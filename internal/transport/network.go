@@ -213,6 +213,12 @@ func (n *Network) sendRun(from ProcessID, run []Message) error {
 			deliverAt = ls.lastDeliver // keep FIFO despite jitter
 		}
 		ls.lastDeliver = deliverAt
+		// A pooled payload crosses by slice alias here, not as an encoded
+		// wire copy: each delivered copy pins its buffers so the sender
+		// releasing its own references cannot recycle bytes a receiver
+		// still reads. Dropped messages (above) take no reference; the
+		// mailbox and drainLink release on their drop paths.
+		m.RetainRefs()
 		if !faulty && !busy && deliverAt.Sub(now) <= 0 {
 			ready++
 			continue
@@ -227,6 +233,7 @@ func (n *Network) sendRun(from ProcessID, run []Message) error {
 		busy = true
 		ls.queue = append(ls.queue, scheduledMsg{deliverAt: deliverAt, msg: m, dst: dst})
 		if oc.Dup {
+			m.RetainRefs() // the duplicate is its own in-flight copy
 			ls.queue = append(ls.queue, scheduledMsg{deliverAt: deliverAt, msg: m, dst: dst})
 		}
 		if !ls.draining {
@@ -266,6 +273,8 @@ func (n *Network) drainLink(ls *linkState) {
 		// Deliver only if the same endpoint incarnation is attached.
 		if ok && cur == sm.dst {
 			sm.dst.mb.push(sm.msg)
+		} else {
+			sm.msg.ReleaseRefs()
 		}
 	}
 }

@@ -14,6 +14,10 @@ func recvOne(t *testing.T, tr Transport, timeout time.Duration) Message {
 		if !ok {
 			t.Fatal("transport closed unexpectedly")
 		}
+		// Honor the pooled-read contract on behalf of the test: copy
+		// anything aliasing a pooled read block, then drop the refs.
+		m.DetachAlias()
+		m.ReleaseRefs()
 		return m
 	case <-time.After(timeout):
 		t.Fatal("timed out waiting for message")

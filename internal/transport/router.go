@@ -58,6 +58,8 @@ func (r *Router) loop() {
 			r.mu.Unlock()
 			if hb != nil {
 				hb.push(m)
+			} else {
+				m.ReleaseRefs()
 			}
 			continue
 		}

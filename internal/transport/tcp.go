@@ -4,9 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"amcast/internal/bufpool"
 )
 
 // TCPNode is a Transport over real TCP sockets for multi-process
@@ -20,10 +24,28 @@ type TCPNode struct {
 	mu     sync.Mutex
 	addrs  map[ProcessID]string
 	conns  map[ProcessID]*tcpConn
+	redial map[ProcessID]*redialState
 	closed bool
+	pooled bool
+
+	dropped atomic.Uint64
 
 	wg sync.WaitGroup
 }
+
+// redialState tracks dial backoff for one unreachable peer so a
+// flapping destination cannot trigger a dial (and its 2 s timeout) per
+// Send — consecutive failures push the next attempt out exponentially,
+// with jitter so a restarted cluster's peers don't re-dial in lockstep.
+type redialState struct {
+	fails int
+	until time.Time
+}
+
+const (
+	redialBase = 50 * time.Millisecond
+	redialMax  = 2 * time.Second
+)
 
 type tcpConn struct {
 	mu   sync.Mutex // serializes writes
@@ -75,16 +97,36 @@ func ListenTCP(id ProcessID, addr string) (*TCPNode, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	n := &TCPNode{
-		id:    id,
-		ln:    ln,
-		mb:    newMailbox(),
-		addrs: make(map[ProcessID]string),
-		conns: make(map[ProcessID]*tcpConn),
+		id:     id,
+		ln:     ln,
+		mb:     newMailbox(),
+		addrs:  make(map[ProcessID]string),
+		conns:  make(map[ProcessID]*tcpConn),
+		redial: make(map[ProcessID]*redialState),
+		pooled: true,
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
 }
+
+// SetPooling toggles pooled read blocks (on by default). With pooling
+// off every inbound frame is decoded from a fresh heap buffer and no
+// message carries pooled references — the pre-pool behaviour, kept as
+// the comparison baseline for cmd/bench -mem. Call before traffic
+// flows; the setting is read at connection setup.
+func (n *TCPNode) SetPooling(on bool) {
+	n.mu.Lock()
+	n.pooled = on
+	n.mu.Unlock()
+}
+
+// DroppedSends reports messages dropped on the send path: destination
+// unknown, dial failed (or suppressed by re-dial backoff), or the
+// connection broke mid-write. Exposed as transport.send.dropped via
+// internal/obs — the protocols tolerate fair-lossy links, but silent
+// loss should never be invisible in telemetry.
+func (n *TCPNode) DroppedSends() uint64 { return n.dropped.Load() }
 
 var _ Transport = (*TCPNode)(nil)
 var _ BatchSender = (*TCPNode)(nil)
@@ -107,7 +149,8 @@ func (n *TCPNode) Recv() <-chan Message { return n.mb.out }
 
 // Send encodes and writes m to the peer, dialing if necessary. Connection
 // errors drop the cached connection so a later Send re-dials; the message
-// is lost, which the protocols tolerate (fair-lossy links).
+// is lost, which the protocols tolerate (fair-lossy links) — but every
+// loss is counted in DroppedSends rather than vanishing silently.
 func (n *TCPNode) Send(to ProcessID, m Message) error {
 	m.From = n.id
 	m.To = to
@@ -116,9 +159,11 @@ func (n *TCPNode) Send(to ProcessID, m Message) error {
 		return err
 	}
 	if conn == nil {
-		return nil // unknown peer address: treat as lost
+		n.dropped.Add(1)
+		return nil // unknown or unreachable peer: treat as lost
 	}
 	if werr := conn.write(m); werr != nil {
+		n.dropped.Add(1)
 		n.dropConn(to, conn)
 	}
 	return nil
@@ -138,10 +183,13 @@ func (n *TCPNode) SendBatch(msgs []Message) error {
 		if err != nil {
 			return err
 		}
-		if conn != nil {
-			if werr := conn.write(run...); werr != nil {
-				n.dropConn(to, conn)
-			}
+		if conn == nil {
+			n.dropped.Add(uint64(len(run)))
+			return nil
+		}
+		if werr := conn.write(run...); werr != nil {
+			n.dropped.Add(uint64(len(run)))
+			n.dropConn(to, conn)
 		}
 		return nil
 	})
@@ -171,6 +219,10 @@ func (n *TCPNode) Close() error {
 	return err
 }
 
+// conn returns the cached connection to a peer, dialing if necessary.
+// A nil, nil return means the message cannot be delivered right now
+// (unknown address, peer down, or dial suppressed by backoff); callers
+// count the loss in DroppedSends.
 func (n *TCPNode) conn(to ProcessID) (*tcpConn, error) {
 	n.mu.Lock()
 	if n.closed {
@@ -182,12 +234,18 @@ func (n *TCPNode) conn(to ProcessID) (*tcpConn, error) {
 		return c, nil
 	}
 	addr, ok := n.addrs[to]
-	n.mu.Unlock()
 	if !ok {
+		n.mu.Unlock()
 		return nil, nil
 	}
+	if rs := n.redial[to]; rs != nil && time.Now().Before(rs.until) {
+		n.mu.Unlock()
+		return nil, nil // backing off a failed peer: no dial storm
+	}
+	n.mu.Unlock()
 	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
+		n.dialFailed(to)
 		return nil, nil // peer down: message lost
 	}
 	// Handshake: announce our id so the peer can map the inbound stream.
@@ -195,6 +253,7 @@ func (n *TCPNode) conn(to ProcessID) (*tcpConn, error) {
 	binary.LittleEndian.PutUint32(hello[:], uint32(n.id))
 	if _, err := raw.Write(hello[:]); err != nil {
 		_ = raw.Close()
+		n.dialFailed(to)
 		return nil, nil
 	}
 	c := &tcpConn{c: raw}
@@ -204,6 +263,7 @@ func (n *TCPNode) conn(to ProcessID) (*tcpConn, error) {
 		_ = raw.Close()
 		return nil, ErrClosed
 	}
+	delete(n.redial, to)
 	if existing, ok := n.conns[to]; ok {
 		n.mu.Unlock()
 		_ = raw.Close()
@@ -214,6 +274,26 @@ func (n *TCPNode) conn(to ProcessID) (*tcpConn, error) {
 	n.wg.Add(1)
 	go n.readLoop(raw)
 	return c, nil
+}
+
+// dialFailed schedules the next allowed dial attempt for a peer:
+// exponential backoff from redialBase to redialMax, jittered ±50% so
+// many senders to one dead peer spread their probes.
+func (n *TCPNode) dialFailed(to ProcessID) {
+	n.mu.Lock()
+	rs := n.redial[to]
+	if rs == nil {
+		rs = &redialState{}
+		n.redial[to] = rs
+	}
+	rs.fails++
+	d := redialBase << min(rs.fails-1, 10)
+	if d > redialMax {
+		d = redialMax
+	}
+	jittered := d/2 + rand.N(d)
+	rs.until = time.Now().Add(jittered)
+	n.mu.Unlock()
 }
 
 func (n *TCPNode) dropConn(to ProcessID, c *tcpConn) {
@@ -255,9 +335,92 @@ func (n *TCPNode) acceptLoop() {
 	}
 }
 
+// readBlockSize is the pooled block each read syscall fills. At steady
+// state one read picks up a whole burst of frames (the sender coalesces
+// a ring burst into one write), so the per-frame syscall and per-frame
+// allocation of the naive loop both disappear.
+const readBlockSize = 256 << 10
+
+// readLoop drains one inbound connection. In pooled mode (the default)
+// it reads many frames per syscall into a pooled block and decodes them
+// aliasing the block's storage: each ring-kind message carries a block
+// reference that its consumer releases after the burst drains, while
+// other kinds — whose consumers may hold bytes indefinitely — are
+// detached onto the heap immediately. A partial frame left at the end
+// of a block is moved (never compacted in place — earlier frames in the
+// block are still referenced) to a fresh block sized for the frame.
+//
+//lint:pooled
 func (n *TCPNode) readLoop(raw net.Conn) {
 	defer n.wg.Done()
 	defer func() { _ = raw.Close() }()
+	n.mu.Lock()
+	pooled := n.pooled
+	n.mu.Unlock()
+	if !pooled {
+		n.readLoopUnpooled(raw)
+		return
+	}
+
+	block := bufpool.Get(readBlockSize)
+	defer func() { block.Release() }()
+	data := block.Bytes()
+	start, end := 0, 0
+	for {
+		// Decode every complete frame buffered in [start, end).
+		for end-start >= 4 {
+			size := int(binary.LittleEndian.Uint32(data[start : start+4]))
+			if size == 0 || size > maxFrame {
+				return
+			}
+			if end-start < 4+size {
+				break
+			}
+			m, err := DecodeMessage(data[start+4 : start+4+size])
+			if err != nil {
+				return
+			}
+			start += 4 + size
+			if isRingKind(m.Kind) {
+				// The pooled steady state: the message rides with a
+				// block reference, released by the ring's burst drain.
+				block.Retain()
+				m.Block = block
+			} else {
+				// Client/recovery traffic may be retained indefinitely
+				// by its consumer: detach from the block here.
+				m.DetachAlias()
+			}
+			n.mb.push(m)
+		}
+		// Refill. If the remaining space cannot hold the next frame
+		// (partial tail near the block's end, or an oversized frame),
+		// move the tail to a fresh block first.
+		need := 4
+		if end-start >= 4 {
+			need = 4 + int(binary.LittleEndian.Uint32(data[start:start+4]))
+		}
+		if len(data)-start < need {
+			nb := bufpool.Get(max(readBlockSize, need))
+			ndata := nb.Bytes()
+			copy(ndata, data[start:end])
+			block.Release()
+			block, data = nb, ndata
+			end -= start
+			start = 0
+		}
+		nn, err := raw.Read(data[end:])
+		if err != nil {
+			return
+		}
+		end += nn
+	}
+}
+
+// readLoopUnpooled is the pre-pool read path: one length-prefix read
+// and one fresh heap buffer per frame. Kept as the -mem benchmark's
+// baseline and for SetPooling(false) deployments.
+func (n *TCPNode) readLoopUnpooled(raw net.Conn) {
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(raw, lenBuf[:]); err != nil {
